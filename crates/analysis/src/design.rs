@@ -1,0 +1,385 @@
+//! Priority-distribution design: the feasibility problem of Sec. 3.4.
+//!
+//! Given decoding constraints `(M_i, k_i)` — "from `M_i` randomly
+//! accumulated coded blocks, the expected number of decoded levels must
+//! be at least `k_i`" (eq. 9) — plus the full-recovery constraint
+//! `Pr(X_{αN} = n) > 1 − ε` (eq. 10) and the simplex constraints
+//! (eq. 11), find *a* priority distribution satisfying all of them.
+//!
+//! The paper solves this with MATLAB's feasibility search initialised at
+//! the uniform distribution and keeps the first feasible point. We
+//! replace MATLAB with a dependency-free multi-start adaptive random
+//! search over the softmax parameterisation of the simplex, driven by a
+//! quadratic penalty that is zero exactly on the feasible region. Like
+//! the paper's, our solver stops at the *first* feasible point — the
+//! feasible region is generally a continuum, so solutions need not match
+//! Table 1 digit-for-digit; what must match (and is verified in the
+//! benchmark harness) is that they satisfy the same constraints and
+//! produce Fig. 7-shaped decoding curves.
+
+use prlc_core::{DecodingConstraint, PriorityDistribution, PriorityProfile, Scheme};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::curves;
+use crate::model::AnalysisOptions;
+
+/// The full-recovery constraint of eq. 10: with `α·N` coded blocks, all
+/// `n` levels must decode with probability at least `1 − ε`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FullRecoveryConstraint {
+    /// Overhead factor `α > 1`.
+    pub alpha: f64,
+    /// Failure tolerance `ε`.
+    pub epsilon: f64,
+}
+
+impl FullRecoveryConstraint {
+    /// The paper's Sec. 5.3 setting: `α = 2`, `ε = 0.01`.
+    pub fn paper_default() -> Self {
+        FullRecoveryConstraint {
+            alpha: 2.0,
+            epsilon: 0.01,
+        }
+    }
+}
+
+/// A feasibility problem instance.
+#[derive(Debug, Clone)]
+pub struct FeasibilityProblem {
+    /// The coding scheme the distribution is designed for.
+    pub scheme: Scheme,
+    /// The priority profile (level sizes).
+    pub profile: PriorityProfile,
+    /// The decoding constraints of eq. 9.
+    pub constraints: Vec<DecodingConstraint>,
+    /// The optional full-recovery constraint of eq. 10.
+    pub full_recovery: Option<FullRecoveryConstraint>,
+    /// Decodability model used when evaluating constraints.
+    pub options: AnalysisOptions,
+    /// Numerical slack: a constraint counts as satisfied when achieved
+    /// `>= required − tolerance`. Zero demands exact feasibility.
+    ///
+    /// The paper's published Table-1 distributions evaluate as
+    /// *marginally* infeasible (by ~10⁻³) under this crate's exact
+    /// analysis, because their MATLAB search used the technical report's
+    /// approximate analysis — the feasible-region boundary shifts by a
+    /// hair. A small tolerance (e.g. `5e-3`) reproduces the paper's
+    /// accept/reject behaviour.
+    pub tolerance: f64,
+}
+
+/// Evaluation of one constraint at a candidate distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintCheck {
+    /// Human-readable constraint description.
+    pub description: String,
+    /// The achieved value (an `E(X)` or a probability).
+    pub achieved: f64,
+    /// The required value.
+    pub required: f64,
+    /// Whether the constraint holds.
+    pub satisfied: bool,
+}
+
+impl FeasibilityProblem {
+    /// Per-constraint evaluation at `dist`.
+    pub fn check(&self, dist: &PriorityDistribution) -> Vec<ConstraintCheck> {
+        let mut out = Vec::with_capacity(self.constraints.len() + 1);
+        for c in &self.constraints {
+            let achieved =
+                curves::expected_levels(self.scheme, &self.profile, dist, c.blocks, &self.options);
+            out.push(ConstraintCheck {
+                description: format!("E(X_{{{}}}) >= {}", c.blocks, c.min_levels),
+                achieved,
+                required: c.min_levels,
+                satisfied: achieved >= c.min_levels - self.tolerance,
+            });
+        }
+        if let Some(fr) = self.full_recovery {
+            let m = (fr.alpha * self.profile.total_blocks() as f64).round() as usize;
+            let achieved =
+                curves::prob_complete(self.scheme, &self.profile, dist, m, &self.options);
+            let required = 1.0 - fr.epsilon;
+            out.push(ConstraintCheck {
+                description: format!("Pr(X_{{{m}}} = n) > {required}"),
+                achieved,
+                required,
+                satisfied: achieved > required - self.tolerance,
+            });
+        }
+        out
+    }
+
+    /// Quadratic penalty: zero exactly when every constraint holds
+    /// (within the problem's tolerance).
+    pub fn penalty(&self, dist: &PriorityDistribution) -> f64 {
+        self.check(dist)
+            .iter()
+            .map(|c| (c.required - self.tolerance - c.achieved).max(0.0).powi(2))
+            .sum()
+    }
+
+    /// Whether `dist` satisfies every constraint.
+    pub fn is_feasible(&self, dist: &PriorityDistribution) -> bool {
+        self.check(dist).iter().all(|c| c.satisfied)
+    }
+}
+
+/// Knobs for the feasibility search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverOptions {
+    /// Total penalty-evaluation budget across all restarts.
+    pub max_evaluations: usize,
+    /// Number of random restarts (the first start is always the uniform
+    /// distribution, as in the paper).
+    pub restarts: usize,
+    /// RNG seed for the search.
+    pub seed: u64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            max_evaluations: 2000,
+            restarts: 8,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// The result of a feasibility search.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The best distribution found (feasible if `feasible` is true).
+    pub distribution: PriorityDistribution,
+    /// Whether every constraint is satisfied.
+    pub feasible: bool,
+    /// Residual penalty at `distribution` (0 when feasible).
+    pub penalty: f64,
+    /// Number of penalty evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Searches for a priority distribution satisfying `problem`.
+///
+/// Returns the first feasible point found, or the lowest-penalty point
+/// when the budget runs out (`feasible == false`). Deterministic for a
+/// fixed seed.
+pub fn solve_feasibility(problem: &FeasibilityProblem, opts: &SolverOptions) -> Solution {
+    let n = problem.profile.num_levels();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    let mut best_theta = vec![0.0f64; n];
+    let mut best_penalty = f64::INFINITY;
+    let mut evaluations = 0usize;
+
+    let budget_per_restart = (opts.max_evaluations / opts.restarts.max(1)).max(1);
+
+    'restarts: for restart in 0..opts.restarts.max(1) {
+        // First start: uniform (theta = 0), like the paper's MATLAB run.
+        let mut theta: Vec<f64> = if restart == 0 {
+            vec![0.0; n]
+        } else {
+            (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect()
+        };
+        let mut current = problem.penalty(&softmax(&theta));
+        evaluations += 1;
+        if current < best_penalty {
+            best_penalty = current;
+            best_theta = theta.clone();
+        }
+        if current == 0.0 {
+            break 'restarts;
+        }
+
+        let mut step = 0.5f64;
+        for _ in 0..budget_per_restart {
+            if evaluations >= opts.max_evaluations {
+                break 'restarts;
+            }
+            // Perturb one or two random coordinates.
+            let mut candidate = theta.clone();
+            let coords = if rng.gen_bool(0.5) { 1 } else { 2 };
+            for _ in 0..coords {
+                let i = rng.gen_range(0..n);
+                candidate[i] += rng.gen_range(-step..step);
+            }
+            let p = problem.penalty(&softmax(&candidate));
+            evaluations += 1;
+            if p < current {
+                current = p;
+                theta = candidate;
+                step = (step * 1.4).min(3.0);
+                if current < best_penalty {
+                    best_penalty = current;
+                    best_theta = theta.clone();
+                }
+                if current == 0.0 {
+                    break 'restarts;
+                }
+            } else {
+                step = (step * 0.85).max(1e-3);
+            }
+        }
+    }
+
+    let distribution = softmax(&best_theta);
+    let feasible = problem.is_feasible(&distribution);
+    Solution {
+        distribution,
+        feasible,
+        penalty: best_penalty,
+        evaluations,
+    }
+}
+
+/// Softmax parameterisation of the simplex (eq. 11 holds by
+/// construction).
+fn softmax(theta: &[f64]) -> PriorityDistribution {
+    let max = theta.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = theta.iter().map(|&t| (t - max).exp()).collect();
+    PriorityDistribution::from_weights(weights).expect("softmax weights are positive")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small, fast problem shaped like the paper's Sec. 5.3 cases.
+    fn small_problem(constraints: Vec<DecodingConstraint>) -> FeasibilityProblem {
+        FeasibilityProblem {
+            scheme: Scheme::Plc,
+            profile: PriorityProfile::new(vec![5, 10, 35]).unwrap(),
+            constraints,
+            full_recovery: Some(FullRecoveryConstraint {
+                alpha: 2.0,
+                epsilon: 0.01,
+            }),
+            options: AnalysisOptions::sharp(),
+            tolerance: 0.0,
+        }
+    }
+
+    #[test]
+    fn weak_problem_without_full_recovery_is_feasible_at_uniform() {
+        // Without eq. 10, E(X_{100}) >= 1 with N=50 holds at uniform.
+        let mut p = small_problem(vec![DecodingConstraint::new(100, 1.0)]);
+        p.full_recovery = None;
+        assert!(p.is_feasible(&PriorityDistribution::uniform(3)));
+        let sol = solve_feasibility(&p, &SolverOptions::default());
+        assert!(sol.feasible, "penalty={}", sol.penalty);
+        assert_eq!(sol.penalty, 0.0);
+        // The first evaluation (uniform start) already satisfies it.
+        assert_eq!(sol.evaluations, 1);
+    }
+
+    #[test]
+    fn full_recovery_constraint_is_not_free() {
+        // With α=2 the uniform distribution fails eq. 10 on this skewed
+        // profile (level 3 holds 70% of the blocks but would receive only
+        // a third of the coded blocks); the solver must rebalance.
+        let p = small_problem(vec![DecodingConstraint::new(100, 1.0)]);
+        let uniform = PriorityDistribution::uniform(3);
+        assert!(!p.is_feasible(&uniform), "uniform unexpectedly feasible");
+        let sol = solve_feasibility(
+            &p,
+            &SolverOptions {
+                max_evaluations: 4000,
+                restarts: 8,
+                seed: 7,
+            },
+        );
+        assert!(sol.feasible, "penalty={}", sol.penalty);
+        // Mass must shift toward the big low-priority level.
+        assert!(
+            sol.distribution.p(2) > 0.34,
+            "p = {:?}",
+            sol.distribution.as_slice()
+        );
+    }
+
+    #[test]
+    fn tight_constraint_forces_mass_to_level_one() {
+        // Decode level 1 (5 blocks) from only 13 random blocks in
+        // expectation: needs a concentrated distribution.
+        let mut p = small_problem(vec![DecodingConstraint::new(13, 1.0)]);
+        p.full_recovery = None;
+        let uniform = PriorityDistribution::uniform(3);
+        assert!(!p.is_feasible(&uniform), "uniform should not satisfy");
+        let sol = solve_feasibility(&p, &SolverOptions::default());
+        assert!(sol.feasible, "penalty={}", sol.penalty);
+        // The solution must put substantially more than 1/3 mass on
+        // level 1.
+        assert!(
+            sol.distribution.p(0) > 0.34,
+            "p = {:?}",
+            sol.distribution.as_slice()
+        );
+    }
+
+    #[test]
+    fn infeasible_problem_reports_best_effort() {
+        // Impossible: decode all 3 levels (50 blocks) from 10 blocks.
+        let p = small_problem(vec![DecodingConstraint::new(10, 3.0)]);
+        let sol = solve_feasibility(
+            &p,
+            &SolverOptions {
+                max_evaluations: 300,
+                restarts: 3,
+                seed: 1,
+            },
+        );
+        assert!(!sol.feasible);
+        assert!(sol.penalty > 0.0);
+        assert!(sol.evaluations <= 300);
+    }
+
+    #[test]
+    fn check_reports_every_constraint() {
+        let p = small_problem(vec![
+            DecodingConstraint::new(13, 1.0),
+            DecodingConstraint::new(45, 2.0),
+        ]);
+        let checks = p.check(&PriorityDistribution::uniform(3));
+        assert_eq!(checks.len(), 3); // 2 decoding + 1 full recovery
+        assert!(checks[0].description.contains("13"));
+        assert!(checks[2].description.contains("Pr"));
+        for c in &checks {
+            assert_eq!(
+                c.satisfied,
+                c.achieved >= c.required || {
+                    // full-recovery uses strict >, allow either here
+                    c.achieved > c.required
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn penalty_zero_iff_feasible() {
+        let p = small_problem(vec![DecodingConstraint::new(30, 1.0)]);
+        let d = PriorityDistribution::uniform(3);
+        assert_eq!(p.penalty(&d) == 0.0, p.is_feasible(&d));
+    }
+
+    #[test]
+    fn solver_is_deterministic() {
+        let p = small_problem(vec![DecodingConstraint::new(13, 1.0)]);
+        let o = SolverOptions::default();
+        let a = solve_feasibility(&p, &o);
+        let b = solve_feasibility(&p, &o);
+        assert_eq!(a.distribution.as_slice(), b.distribution.as_slice());
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn softmax_stays_on_simplex() {
+        let d = softmax(&[100.0, -100.0, 0.0]);
+        let sum: f64 = d.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(d.p(0) > 0.999);
+        assert!(d.p(1) >= 0.0);
+    }
+}

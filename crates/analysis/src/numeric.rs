@@ -1,0 +1,199 @@
+//! Numerically stable primitives: log-factorials, Poisson pmf vectors and
+//! Galois-field rank probabilities.
+
+/// Natural log of `n!` computed by summation (exact enough for the block
+/// counts used here, `n ≤ ~10^5`).
+#[derive(Debug, Clone)]
+pub struct LnFactorial {
+    table: Vec<f64>,
+}
+
+impl LnFactorial {
+    /// A table covering `0! ..= max!`.
+    pub fn up_to(max: usize) -> Self {
+        let mut table = Vec::with_capacity(max + 1);
+        table.push(0.0);
+        let mut acc = 0.0f64;
+        for n in 1..=max {
+            acc += (n as f64).ln();
+            table.push(acc);
+        }
+        LnFactorial { table }
+    }
+
+    /// `ln(n!)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the table size.
+    #[inline]
+    pub fn get(&self, n: usize) -> f64 {
+        self.table[n]
+    }
+}
+
+/// The Poisson pmf `P(Z = d)` for `d = 0..len`, with mean `lambda`.
+///
+/// Computed in log space so that large means (`λ > 700`, where `e^{-λ}`
+/// underflows) stay finite; far-tail entries underflow harmlessly to 0.
+///
+/// `lambda == 0` yields the point mass at 0.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+pub fn poisson_pmf(lambda: f64, len: usize) -> Vec<f64> {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "poisson mean must be a non-negative finite number, got {lambda}"
+    );
+    if len == 0 {
+        return Vec::new();
+    }
+    if lambda == 0.0 {
+        let mut v = vec![0.0; len];
+        v[0] = 1.0;
+        return v;
+    }
+    let lnfact = LnFactorial::up_to(len - 1);
+    let ln_lambda = lambda.ln();
+    (0..len)
+        .map(|d| (-lambda + d as f64 * ln_lambda - lnfact.get(d)).exp())
+        .collect()
+}
+
+/// `P(Z = at)` for `Z ~ Poisson(lambda)` — used for the Poissonization
+/// denominator `Pois(M; M)`.
+pub fn poisson_point(lambda: f64, at: usize) -> f64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "poisson mean must be a non-negative finite number, got {lambda}"
+    );
+    if lambda == 0.0 {
+        return if at == 0 { 1.0 } else { 0.0 };
+    }
+    let lnfact = LnFactorial::up_to(at);
+    (-lambda + at as f64 * lambda.ln() - lnfact.get(at)).exp()
+}
+
+/// Probability that a `rows × cols` matrix with independent uniformly
+/// random entries over `GF(q)` has full column rank (`rank == cols`),
+/// assuming `rows ≥ cols`:
+///
+/// `∏_{i = rows-cols+1}^{rows} (1 − q^{−i})`.
+///
+/// Returns 0 when `rows < cols`. This is the correction factor for the
+/// paper's large-field idealisation (footnote 1: "we assume a
+/// sufficiently large Galois field such as GF(2^8)"), quantifying the
+/// residual probability that "enough" random coded blocks are still not
+/// decodable.
+pub fn full_rank_probability(q: f64, rows: usize, cols: usize) -> f64 {
+    assert!(q >= 2.0, "field size must be at least 2, got {q}");
+    if rows < cols {
+        return 0.0;
+    }
+    if cols == 0 {
+        return 1.0;
+    }
+    let mut prob = 1.0;
+    for i in (rows - cols + 1)..=rows {
+        let term = 1.0 - q.powi(-(i as i32));
+        if term <= 0.0 {
+            return 0.0;
+        }
+        prob *= term;
+        // q^{-i} underflows quickly; once the factor is 1.0 the rest are.
+        if term == 1.0 {
+            break;
+        }
+    }
+    prob
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_values() {
+        let lf = LnFactorial::up_to(10);
+        assert_eq!(lf.get(0), 0.0);
+        assert_eq!(lf.get(1), 0.0);
+        assert!((lf.get(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((lf.get(10) - 3628800f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        for lambda in [0.5, 3.0, 50.0, 700.0, 1500.0] {
+            let v = poisson_pmf(lambda, (4.0 * lambda) as usize + 40);
+            let sum: f64 = v.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "lambda={lambda} sum={sum}");
+            assert!(v.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn poisson_pmf_zero_mean_is_point_mass() {
+        let v = poisson_pmf(0.0, 5);
+        assert_eq!(v, vec![1.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn poisson_pmf_known_values() {
+        // λ=2: P(0)=e^-2, P(1)=2e^-2, P(2)=2e^-2.
+        let v = poisson_pmf(2.0, 3);
+        let e2 = (-2.0f64).exp();
+        assert!((v[0] - e2).abs() < 1e-12);
+        assert!((v[1] - 2.0 * e2).abs() < 1e-12);
+        assert!((v[2] - 2.0 * e2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_point_matches_pmf() {
+        let v = poisson_pmf(37.5, 100);
+        for at in [0usize, 1, 37, 99] {
+            assert!((poisson_point(37.5, at) - v[at]).abs() < 1e-15);
+        }
+        assert_eq!(poisson_point(0.0, 0), 1.0);
+        assert_eq!(poisson_point(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn poisson_large_mean_is_finite() {
+        // e^{-1500} underflows; the log-space path must survive.
+        let v = poisson_pmf(1500.0, 1600);
+        assert!(v.iter().all(|p| p.is_finite()));
+        let sum: f64 = v.iter().sum();
+        assert!(sum > 0.99, "sum={sum}");
+        // Mode near the mean.
+        assert!(v[1500] > v[1300]);
+    }
+
+    #[test]
+    fn full_rank_probability_basics() {
+        // Underdetermined: impossible.
+        assert_eq!(full_rank_probability(256.0, 3, 5), 0.0);
+        // Trivial.
+        assert_eq!(full_rank_probability(256.0, 0, 0), 1.0);
+        // Square q=2, n=1: P(nonzero) = 1/2.
+        assert!((full_rank_probability(2.0, 1, 1) - 0.5).abs() < 1e-12);
+        // Square q=2, n=2: (1-1/2)(1-1/4) = 0.375.
+        assert!((full_rank_probability(2.0, 2, 2) - 0.375).abs() < 1e-12);
+        // GF(256) square matrices are near-certainly invertible.
+        let p = full_rank_probability(256.0, 100, 100);
+        assert!(p > 0.995 && p < 1.0);
+        // Extra rows help.
+        assert!(full_rank_probability(2.0, 6, 3) > full_rank_probability(2.0, 3, 3));
+    }
+
+    #[test]
+    fn full_rank_probability_is_monotone_in_rows() {
+        let mut last = 0.0;
+        for rows in 4..12 {
+            let p = full_rank_probability(16.0, rows, 4);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+}

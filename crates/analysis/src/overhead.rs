@@ -1,0 +1,289 @@
+//! Inverse queries on the decoding curves, and the set-model utility
+//! analysis for SLC.
+//!
+//! The decoding curves answer "how much decodes from `M` blocks?"; the
+//! planners in this module answer the inverse question an application
+//! actually asks — *"how many surviving blocks do I need before my data
+//! is safe?"* — plus the expected utility of SLC under the non-strict
+//! (set) priority model, where independently decoded low-priority levels
+//! count even when a higher level is missing.
+
+use prlc_core::{PriorityDistribution, PriorityProfile, Scheme, UtilityFunction};
+
+use crate::curves;
+use crate::model::AnalysisOptions;
+use crate::numeric::LnFactorial;
+
+/// Safety cap on the search range, as a multiple of `N`.
+const MAX_OVERHEAD: usize = 64;
+
+/// The minimum number of randomly accumulated coded blocks `M` such that
+/// `E(X_M) ≥ k` — the expected-waiting budget for `k` levels.
+///
+/// Returns `None` if even `64·N` blocks do not reach the target (e.g. a
+/// level with zero priority mass can never decode under SLC).
+///
+/// Targeting `k == n` exactly is numerically ill-conditioned —
+/// `E(X) = n` requires every survival probability to equal 1 to within
+/// floating point, so the answer sits deep in the distribution tail;
+/// prefer [`blocks_for_complete`] with an explicit confidence for
+/// full-recovery budgets.
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the level count or the distribution mismatches
+/// the profile.
+pub fn blocks_for_expected_levels(
+    scheme: Scheme,
+    profile: &PriorityProfile,
+    dist: &PriorityDistribution,
+    k: f64,
+    opts: &AnalysisOptions,
+) -> Option<usize> {
+    assert!(
+        k <= profile.num_levels() as f64,
+        "target {k} exceeds {} levels",
+        profile.num_levels()
+    );
+    let n = profile.total_blocks();
+    let e = |m: usize| curves::expected_levels(scheme, profile, dist, m, opts);
+    // Exponential search for an upper bound, then binary search (E(X_M)
+    // is non-decreasing in M).
+    let mut hi = n.max(1);
+    while e(hi) < k {
+        hi *= 2;
+        if hi > MAX_OVERHEAD * n {
+            return None;
+        }
+    }
+    let mut lo = 0usize;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if e(mid) >= k {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(hi)
+}
+
+/// The minimum `M` such that all levels decode with probability at least
+/// `confidence` — the budget behind the paper's eq. 10 constraint.
+///
+/// Returns `None` if unreachable within `64·N` blocks.
+///
+/// # Panics
+///
+/// Panics if `confidence` is not within `(0, 1)`.
+pub fn blocks_for_complete(
+    scheme: Scheme,
+    profile: &PriorityProfile,
+    dist: &PriorityDistribution,
+    confidence: f64,
+    opts: &AnalysisOptions,
+) -> Option<usize> {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1), got {confidence}"
+    );
+    let n = profile.total_blocks();
+    let p = |m: usize| curves::prob_complete(scheme, profile, dist, m, opts);
+    let mut hi = n.max(1);
+    while p(hi) < confidence {
+        hi *= 2;
+        if hi > MAX_OVERHEAD * n {
+            return None;
+        }
+    }
+    let mut lo = 0usize;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if p(mid) >= confidence {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(hi)
+}
+
+/// The probability that SLC decodes `level` (alone, regardless of other
+/// levels) from `m` randomly accumulated blocks.
+///
+/// Exact: the marginal count of one multinomial cell is binomial, and
+/// SLC levels decode independently given their counts.
+pub fn slc_level_marginal(
+    profile: &PriorityProfile,
+    dist: &PriorityDistribution,
+    m: usize,
+    level: usize,
+    opts: &AnalysisOptions,
+) -> f64 {
+    let a = profile.size(level);
+    let p = dist.p(level);
+    if p == 0.0 {
+        return if a == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return opts.decode_weight(m, a);
+    }
+    let lnfact = LnFactorial::up_to(m);
+    let (lp, lq) = (p.ln(), (1.0 - p).ln());
+    let mut acc = 0.0;
+    for d in 0..=m {
+        let w = opts.decode_weight(d, a);
+        if w == 0.0 {
+            continue;
+        }
+        let ln_pmf =
+            lnfact.get(m) - lnfact.get(d) - lnfact.get(m - d) + d as f64 * lp + (m - d) as f64 * lq;
+        acc += w * ln_pmf.exp();
+    }
+    acc.min(1.0)
+}
+
+/// Expected utility of SLC under the **set** model: every independently
+/// recovered level contributes its weight, prefix or not.
+///
+/// `E[U] = Σ_i u_i · Pr(level i decodes)` by linearity — exact because
+/// the per-level marginals are exact.
+///
+/// # Panics
+///
+/// Panics if the utility's level count mismatches the profile's.
+pub fn slc_expected_set_utility(
+    profile: &PriorityProfile,
+    dist: &PriorityDistribution,
+    m: usize,
+    utility: &UtilityFunction,
+    opts: &AnalysisOptions,
+) -> f64 {
+    assert_eq!(
+        utility.num_levels(),
+        profile.num_levels(),
+        "utility level count mismatch"
+    );
+    (0..profile.num_levels())
+        .map(|l| utility.weight(l) * slc_level_marginal(profile, dist, m, l, opts))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PriorityProfile, PriorityDistribution, AnalysisOptions) {
+        (
+            PriorityProfile::new(vec![4, 6, 10]).unwrap(),
+            PriorityDistribution::uniform(3),
+            AnalysisOptions::sharp(),
+        )
+    }
+
+    #[test]
+    fn inverse_query_is_consistent_with_forward_curve() {
+        let (p, d, o) = setup();
+        for scheme in [Scheme::Slc, Scheme::Plc] {
+            for k in [0.5, 1.0, 2.0, 2.9] {
+                let m = blocks_for_expected_levels(scheme, &p, &d, k, &o).expect("reachable");
+                let at = curves::expected_levels(scheme, &p, &d, m, &o);
+                assert!(at >= k, "{scheme} k={k}: E(X_{m}) = {at}");
+                if m > 0 {
+                    let before = curves::expected_levels(scheme, &p, &d, m - 1, &o);
+                    assert!(before < k, "{scheme} k={k}: not minimal ({before})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rlc_needs_exactly_n_for_any_expectation() {
+        let (p, d, o) = setup();
+        let m = blocks_for_expected_levels(Scheme::Rlc, &p, &d, 1.0, &o).unwrap();
+        assert_eq!(m, p.total_blocks());
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        let p = PriorityProfile::new(vec![2, 2]).unwrap();
+        // Level 2 never receives blocks: SLC can never decode it.
+        let d = PriorityDistribution::from_weights(vec![1.0, 0.0]).unwrap();
+        let o = AnalysisOptions::sharp();
+        assert_eq!(
+            blocks_for_expected_levels(Scheme::Slc, &p, &d, 2.0, &o),
+            None
+        );
+        // PLC decodes everything through full-support level-2 blocks...
+        // but there are none; level-1 blocks only cover the prefix.
+        assert_eq!(
+            blocks_for_expected_levels(Scheme::Plc, &p, &d, 2.0, &o),
+            None
+        );
+    }
+
+    #[test]
+    fn completion_budget_brackets_the_confidence() {
+        let (p, d, o) = setup();
+        let m = blocks_for_complete(Scheme::Plc, &p, &d, 0.95, &o).unwrap();
+        assert!(curves::prob_complete(Scheme::Plc, &p, &d, m, &o) >= 0.95);
+        assert!(curves::prob_complete(Scheme::Plc, &p, &d, m - 1, &o) < 0.95);
+        // PLC should need no more than SLC.
+        let m_slc = blocks_for_complete(Scheme::Slc, &p, &d, 0.95, &o).unwrap();
+        assert!(m <= m_slc);
+    }
+
+    #[test]
+    fn slc_marginal_matches_survival_for_level_one() {
+        // For level 0, "decodes alone" == "prefix of length 1 decodes".
+        let (p, d, o) = setup();
+        for m in [4usize, 8, 16, 32] {
+            let marginal = slc_level_marginal(&p, &d, m, 0, &o);
+            let survival = crate::slc::survival(&p, &d, m, 1, &o);
+            assert!(
+                (marginal - survival).abs() < 1e-9,
+                "m={m}: {marginal} vs {survival}"
+            );
+        }
+    }
+
+    #[test]
+    fn slc_marginals_are_monotone_in_m() {
+        let (p, d, o) = setup();
+        for level in 0..3 {
+            let mut last = 0.0;
+            for m in (0..60).step_by(6) {
+                let v = slc_level_marginal(&p, &d, m, level, &o);
+                assert!(v + 1e-12 >= last, "level {level} m={m}");
+                assert!((0.0..=1.0 + 1e-12).contains(&v));
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn set_utility_exceeds_strict_utility_for_slc() {
+        // The set model can only credit more levels than the strict
+        // prefix model: E[U_set] >= E[U_strict].
+        let (p, d, o) = setup();
+        let u = UtilityFunction::uniform(3);
+        for m in [10usize, 20, 30, 40] {
+            let set = slc_expected_set_utility(&p, &d, m, &u, &o);
+            // Strict expected utility with uniform weights is E(X)/n.
+            let strict = curves::expected_levels(Scheme::Slc, &p, &d, m, &o) / 3.0;
+            assert!(set + 1e-9 >= strict, "m={m}: set {set} < strict {strict}");
+        }
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let p = PriorityProfile::new(vec![3, 3]).unwrap();
+        let o = AnalysisOptions::sharp();
+        let all_first = PriorityDistribution::from_weights(vec![1.0, 0.0]).unwrap();
+        // p = 1 for level 0: all m blocks land there.
+        assert_eq!(slc_level_marginal(&p, &all_first, 2, 0, &o), 0.0);
+        assert_eq!(slc_level_marginal(&p, &all_first, 3, 0, &o), 1.0);
+        // p = 0 for level 1: never decodes.
+        assert_eq!(slc_level_marginal(&p, &all_first, 100, 1, &o), 0.0);
+    }
+}

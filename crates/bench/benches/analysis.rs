@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the numerical analysis: E(X) evaluations
+//! (the inner loop of the feasibility solver) and the convolution
+//! kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prlc_analysis::{conv, curves, AnalysisOptions};
+use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
+
+fn bench_expected_levels(c: &mut Criterion) {
+    let opts = AnalysisOptions::sharp();
+    let mut g = c.benchmark_group("expected_levels");
+    g.sample_size(10);
+    for (name, levels, per, m) in [
+        ("slc_5x200_m1000", 5usize, 200usize, 1000usize),
+        ("slc_50x20_m1000", 50, 20, 1000),
+        ("plc_5x200_m1000", 5, 200, 1000),
+        ("plc_50x20_m1000", 50, 20, 1000),
+    ] {
+        let profile = PriorityProfile::uniform(levels, per).expect("valid");
+        let dist = PriorityDistribution::uniform(levels);
+        let scheme = if name.starts_with("slc") {
+            Scheme::Slc
+        } else {
+            Scheme::Plc
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| curves::expected_levels(scheme, &profile, &dist, black_box(m), &opts))
+        });
+    }
+    g.finish();
+}
+
+fn bench_convolution(c: &mut Criterion) {
+    let a: Vec<f64> = (0..2000).map(|i| 1.0 / (i + 1) as f64).collect();
+    let b: Vec<f64> = (0..2000).map(|i| 1.0 / (2 * i + 1) as f64).collect();
+    let mut g = c.benchmark_group("convolution_2000");
+    g.sample_size(20);
+    g.bench_function("naive", |x| {
+        x.iter(|| conv::convolve_naive(black_box(&a), black_box(&b), 2001))
+    });
+    g.bench_function("fft", |x| {
+        x.iter(|| conv::convolve_fft(black_box(&a), black_box(&b), 2001))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_expected_levels, bench_convolution);
+criterion_main!(benches);

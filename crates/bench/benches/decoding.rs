@@ -1,0 +1,78 @@
+//! Criterion benchmarks for partial decoding — one full decode of each
+//! scheme at a paper-relevant (but bench-friendly) size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use prlc_core::{
+    Encoder, PlcDecoder, PriorityDecoder, PriorityDistribution, PriorityProfile, Scheme, SlcDecoder,
+};
+use prlc_gf::Gf256;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const LEVELS: usize = 5;
+const PER_LEVEL: usize = 40;
+const BLOCKS: usize = 2 * LEVELS * PER_LEVEL;
+
+fn generate(scheme: Scheme, seed: u64) -> (PriorityProfile, Vec<prlc_core::CodedBlock<Gf256>>) {
+    let profile = PriorityProfile::uniform(LEVELS, PER_LEVEL).expect("valid");
+    let dist = PriorityDistribution::uniform(LEVELS);
+    let enc = Encoder::new(scheme, profile.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blocks = (0..BLOCKS)
+        .map(|_| enc.encode_unpayloaded::<Gf256, _>(dist.sample_level(&mut rng), &mut rng))
+        .collect();
+    (profile, blocks)
+}
+
+fn bench_full_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_decode_n200");
+    g.sample_size(20);
+    for scheme in [Scheme::Rlc, Scheme::Slc, Scheme::Plc] {
+        let (profile, blocks) = generate(scheme, 42);
+        g.bench_function(scheme.to_string(), |b| {
+            b.iter_batched(
+                || blocks.clone(),
+                |blocks| match scheme {
+                    Scheme::Slc => {
+                        let mut dec: SlcDecoder<Gf256, ()> =
+                            SlcDecoder::coefficients_only(profile.clone());
+                        for blk in &blocks {
+                            dec.insert_block(blk);
+                        }
+                        dec.decoded_levels()
+                    }
+                    _ => {
+                        let mut dec: PlcDecoder<Gf256, ()> =
+                            PlcDecoder::coefficients_only(profile.clone());
+                        for blk in &blocks {
+                            dec.insert_block(blk);
+                        }
+                        dec.decoded_levels()
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_progressive_insert(c: &mut Criterion) {
+    // Cost of one insertion into a half-full PLC decoder.
+    let (profile, blocks) = generate(Scheme::Plc, 43);
+    let mut dec: PlcDecoder<Gf256, ()> = PlcDecoder::coefficients_only(profile);
+    for blk in blocks.iter().take(BLOCKS / 2) {
+        dec.insert_block(blk);
+    }
+    let probe = &blocks[BLOCKS - 1];
+    c.bench_function("plc_insert_into_half_full_decoder", |b| {
+        b.iter_batched(
+            || dec.clone(),
+            |mut d| d.insert_block(probe),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_full_decode, bench_progressive_insert);
+criterion_main!(benches);

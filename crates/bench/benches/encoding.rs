@@ -1,0 +1,45 @@
+//! Criterion benchmarks for encoding throughput: dense vs sparse coded
+//! blocks, with and without payload work.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use prlc_core::baseline::GrowthEncoder;
+use prlc_core::{Encoder, PriorityProfile, Scheme};
+use prlc_gf::{Gf256, GfElem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_encode(c: &mut Criterion) {
+    let profile = PriorityProfile::uniform(5, 40).expect("valid");
+    let n = profile.total_blocks();
+    let payload_len = 64usize;
+    let mut rng = StdRng::seed_from_u64(7);
+    let sources: Vec<Vec<Gf256>> = (0..n)
+        .map(|_| (0..payload_len).map(|_| Gf256::random(&mut rng)).collect())
+        .collect();
+
+    let mut g = c.benchmark_group("encode_n200");
+    g.throughput(Throughput::Bytes((n * payload_len) as u64));
+    for (name, enc) in [
+        ("plc_dense", Encoder::new(Scheme::Plc, profile.clone())),
+        (
+            "plc_sparse_2lnN",
+            Encoder::sparse(Scheme::Plc, profile.clone(), 2.0),
+        ),
+        ("slc_dense", Encoder::new(Scheme::Slc, profile.clone())),
+    ] {
+        g.bench_function(name, |b| b.iter(|| enc.encode(4, &sources, &mut rng)));
+    }
+    g.bench_function("plc_coefficients_only", |b| {
+        let enc = Encoder::new(Scheme::Plc, profile.clone());
+        b.iter(|| enc.encode_unpayloaded::<Gf256, _>(4, &mut rng))
+    });
+    g.finish();
+
+    let growth = GrowthEncoder::new(n);
+    c.bench_function("growth_encode_d4", |b| {
+        b.iter(|| growth.encode_with_degree(4, &sources, &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

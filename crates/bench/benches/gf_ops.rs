@@ -1,0 +1,76 @@
+//! Criterion benchmarks for Galois-field arithmetic — the innermost
+//! loops of every encoder and decoder.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use prlc_gf::{Gf16, Gf256, Gf64k, GfElem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scalar_mul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("gf_scalar_mul");
+    let a16: Vec<Gf16> = (0..1024).map(|_| Gf16::random(&mut rng)).collect();
+    let a256: Vec<Gf256> = (0..1024).map(|_| Gf256::random(&mut rng)).collect();
+    let a64k: Vec<Gf64k> = (0..1024).map(|_| Gf64k::random(&mut rng)).collect();
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("gf16", |b| {
+        b.iter(|| {
+            let mut acc = Gf16::ONE;
+            for &x in &a16 {
+                acc = acc.gf_mul(black_box(x)).gf_add(Gf16::ONE);
+            }
+            acc
+        })
+    });
+    g.bench_function("gf256", |b| {
+        b.iter(|| {
+            let mut acc = Gf256::ONE;
+            for &x in &a256 {
+                acc = acc.gf_mul(black_box(x)).gf_add(Gf256::ONE);
+            }
+            acc
+        })
+    });
+    g.bench_function("gf64k", |b| {
+        b.iter(|| {
+            let mut acc = Gf64k::ONE;
+            for &x in &a64k {
+                acc = acc.gf_mul(black_box(x)).gf_add(Gf64k::ONE);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut g = c.benchmark_group("gf_axpy");
+    for len in [256usize, 1024, 4096] {
+        let src: Vec<Gf256> = (0..len).map(|_| Gf256::random(&mut rng)).collect();
+        let mut dst: Vec<Gf256> = (0..len).map(|_| Gf256::random(&mut rng)).collect();
+        let coeff = Gf256::from_index(0xA7);
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_function(format!("gf256_axpy_{len}"), |b| {
+            b.iter(|| Gf256::axpy(black_box(&mut dst), coeff, black_box(&src)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_inv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let xs: Vec<Gf256> = (0..1024).map(|_| Gf256::random_nonzero(&mut rng)).collect();
+    c.bench_function("gf256_inv_1024", |b| {
+        b.iter(|| {
+            let mut acc = Gf256::ONE;
+            for &x in &xs {
+                acc = acc.gf_add(x.gf_inv().expect("nonzero"));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_scalar_mul, bench_axpy, bench_inv);
+criterion_main!(benches);

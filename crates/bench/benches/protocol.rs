@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the network substrate: routing and the
+//! pre-distribution protocol end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
+use prlc_gf::Gf256;
+use prlc_net::{predistribute, Network, PlaneNetwork, ProtocolConfig, RingNetwork, SourceFanout};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let ring = RingNetwork::new(1000, &mut rng);
+    let plane = PlaneNetwork::with_connectivity_radius(1000, &mut rng);
+    let mut g = c.benchmark_group("route_1000_nodes");
+    g.bench_function("ring_chord", |b| {
+        let mut r = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let from = ring.random_alive_node(&mut r).expect("alive");
+            let p = ring.random_point(&mut r);
+            ring.route(from, p)
+        })
+    });
+    g.bench_function("plane_greedy", |b| {
+        let mut r = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let from = plane.random_alive_node(&mut r).expect("alive");
+            let p = plane.random_point(&mut r);
+            plane.route(from, p)
+        })
+    });
+    g.finish();
+}
+
+fn bench_predistribute(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let net = RingNetwork::new(200, &mut rng);
+    let profile = PriorityProfile::uniform(5, 20).expect("valid");
+    let sources: Vec<Vec<Gf256>> = (0..100)
+        .map(|_| (0..32).map(|_| prlc_gf::GfElem::random(&mut rng)).collect())
+        .collect();
+    let mut g = c.benchmark_group("predistribute_ring200_n100");
+    g.sample_size(20);
+    for (name, fanout) in [
+        ("dense", SourceFanout::All),
+        ("sparse_1.5lnN", SourceFanout::Log { factor: 1.5 }),
+    ] {
+        let cfg = ProtocolConfig {
+            scheme: Scheme::Plc,
+            profile: profile.clone(),
+            distribution: PriorityDistribution::uniform(5),
+            locations: 200,
+            fanout,
+            two_choices: true,
+            node_capacity: None,
+            shared_seed: 9,
+        };
+        g.bench_function(name, |b| {
+            let mut r = StdRng::seed_from_u64(5);
+            b.iter(|| predistribute(&net, &cfg, &sources, &mut r).expect("protocol runs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing, bench_predistribute);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Ablation A5 — protocol bandwidth (DESIGN.md).
+//!
+//! Sec. 4 claims the pre-distribution protocol is bandwidth-efficient:
+//! "The ideal protocol will disseminate a source block to a node only if
+//! the source block will be encoded with the coded blocks on that node",
+//! and sparsity cuts per-source fanout from all eligible locations to
+//! `Θ(ln N)`. This ablation measures messages and hops for dense vs
+//! sparse fanout under SLC and PLC on a ring DHT, against the naive
+//! flooding cost (`N` sources × `W` nodes).
+
+use prlc_bench::RunOpts;
+use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
+use prlc_gf::Gf256;
+use prlc_net::{predistribute, ProtocolConfig, RingNetwork, SourceFanout};
+use prlc_sim::{fmt_f, run_parallel, summarize, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let (w, profile, m) = if opts.quick {
+        (40, PriorityProfile::new(vec![4, 6]).expect("valid"), 30)
+    } else {
+        (
+            400,
+            PriorityProfile::new(vec![40, 60, 100]).expect("valid"),
+            400,
+        )
+    };
+    let n = profile.total_blocks();
+    let dist = PriorityDistribution::uniform(profile.num_levels());
+
+    let mut table = Table::new([
+        "scheme",
+        "fanout",
+        "messages",
+        "mean hops",
+        "total hop-msgs",
+        "failed",
+    ]);
+    for scheme in [Scheme::Slc, Scheme::Plc] {
+        for (fanout_name, fanout) in [
+            ("dense (all eligible)", SourceFanout::All),
+            ("sparse (1.5 ln N)", SourceFanout::Log { factor: 1.5 }),
+        ] {
+            eprintln!("[ablation_bandwidth] {scheme} / {fanout_name} ...");
+            let profile2 = profile.clone();
+            let dist2 = dist.clone();
+            let samples = run_parallel(opts.runs.min(20), opts.seed, |s| {
+                let mut rng = StdRng::seed_from_u64(s);
+                let net = RingNetwork::new(w, &mut rng);
+                let cfg = ProtocolConfig {
+                    scheme,
+                    profile: profile2.clone(),
+                    distribution: dist2.clone(),
+                    locations: m,
+                    fanout,
+                    two_choices: true,
+                    node_capacity: None,
+                    shared_seed: s,
+                };
+                let sources: Vec<Vec<Gf256>> = vec![Vec::new(); profile2.total_blocks()];
+                let dep = predistribute(&net, &cfg, &sources, &mut rng).expect("runs");
+                let metr = dep.metrics();
+                vec![
+                    metr.messages as f64,
+                    metr.mean_hops(),
+                    metr.total_hops as f64,
+                    metr.failed_deliveries as f64,
+                ]
+            });
+            let col = |i: usize| -> f64 {
+                summarize(&samples.iter().map(|r| r[i]).collect::<Vec<_>>()).mean
+            };
+            table.push_row([
+                scheme.to_string(),
+                fanout_name.to_string(),
+                fmt_f(col(0), 1),
+                fmt_f(col(1), 2),
+                fmt_f(col(2), 1),
+                fmt_f(col(3), 1),
+            ]);
+        }
+    }
+    table.push_row([
+        "flooding".to_string(),
+        "every node".to_string(),
+        fmt_f((n * w) as f64, 1),
+        "-".to_string(),
+        "-".to_string(),
+        "0".to_string(),
+    ]);
+    opts.emit(
+        "ablation_bandwidth",
+        &format!("Ablation A5: dissemination cost on a {w}-node ring (N={n}, M={m} locations)"),
+        &table,
+    );
+}

@@ -1,0 +1,118 @@
+//! Ablation A4 — power-of-two-choices load balance (DESIGN.md).
+//!
+//! Sec. 4 of the paper: "We can utilize 'the power of two choices' to
+//! balance the load on nodes [Byers et al.], where the maximal load on
+//! all nodes is Θ(ln ln M / ln 2)." This ablation places `M` storage
+//! locations on ring and plane networks with one vs two choices and
+//! reports the maximum node load next to the `ln M / ln ln M` (one
+//! choice) and `ln ln M / ln 2` (two choices) growth predictions.
+
+use prlc_bench::RunOpts;
+use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
+use prlc_gf::Gf256;
+use prlc_net::{predistribute, Network, PlaneNetwork, ProtocolConfig, RingNetwork, SourceFanout};
+use prlc_sim::{fmt_f, run_parallel, summarize, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn max_load<N: Network, B: Fn(&mut StdRng) -> N + Sync>(
+    build: B,
+    m: usize,
+    two_choices: bool,
+    runs: usize,
+    seed: u64,
+) -> f64 {
+    let profile = PriorityProfile::flat(4).expect("valid");
+    let samples = run_parallel(runs, seed, |s| {
+        let mut rng = StdRng::seed_from_u64(s);
+        let net = build(&mut rng);
+        let cfg = ProtocolConfig {
+            scheme: Scheme::Plc,
+            profile: profile.clone(),
+            distribution: PriorityDistribution::uniform(1),
+            locations: m,
+            fanout: SourceFanout::Log { factor: 1.0 },
+            two_choices,
+            node_capacity: None,
+            shared_seed: s,
+        };
+        let sources: Vec<Vec<Gf256>> = vec![Vec::new(); 4];
+        let dep = predistribute(&net, &cfg, &sources, &mut rng).expect("protocol runs");
+        dep.metrics().max_node_load as f64
+    });
+    summarize(&samples).mean
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    // M locations over W = M nodes: the classic balls-into-bins regime.
+    let ms: &[usize] = if opts.quick {
+        &[64, 256]
+    } else {
+        &[128, 512, 2048]
+    };
+
+    let mut table = Table::new([
+        "network",
+        "M (= W)",
+        "max load, 1 choice",
+        "max load, 2 choices",
+        "ln M/ln ln M",
+        "ln ln M/ln 2",
+    ]);
+    for &m in ms {
+        eprintln!("[ablation_loadbalance] M = {m} ...");
+        let one_ring = max_load(
+            |rng| RingNetwork::new(m, rng),
+            m,
+            false,
+            opts.runs,
+            opts.seed,
+        );
+        let two_ring = max_load(
+            |rng| RingNetwork::new(m, rng),
+            m,
+            true,
+            opts.runs,
+            opts.seed,
+        );
+        let one_plane = max_load(
+            |rng| PlaneNetwork::with_connectivity_radius(m, rng),
+            m,
+            false,
+            opts.runs,
+            opts.seed,
+        );
+        let two_plane = max_load(
+            |rng| PlaneNetwork::with_connectivity_radius(m, rng),
+            m,
+            true,
+            opts.runs,
+            opts.seed,
+        );
+        let lm = (m as f64).ln();
+        let pred_one = lm / lm.ln();
+        let pred_two = lm.ln() / 2f64.ln();
+        table.push_row([
+            "ring".to_string(),
+            m.to_string(),
+            fmt_f(one_ring, 2),
+            fmt_f(two_ring, 2),
+            fmt_f(pred_one, 2),
+            fmt_f(pred_two, 2),
+        ]);
+        table.push_row([
+            "plane".to_string(),
+            m.to_string(),
+            fmt_f(one_plane, 2),
+            fmt_f(two_plane, 2),
+            fmt_f(pred_one, 2),
+            fmt_f(pred_two, 2),
+        ]);
+    }
+    opts.emit(
+        "ablation_loadbalance",
+        "Ablation A4: max node load, one vs two choices",
+        &table,
+    );
+}

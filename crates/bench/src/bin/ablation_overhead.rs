@@ -1,0 +1,114 @@
+//! Ablation A7 — storage-budget planning tables (DESIGN.md extension).
+//!
+//! The deployer's view of Sec. 3.3: for a given profile and priority
+//! distribution, how many surviving coded blocks buy each recovery
+//! target, and how much node failure a given storage budget survives.
+//! All values are analytical (`prlc-analysis::overhead` / `::loss`),
+//! cross-validated against simulation by the library's test suite.
+
+use prlc_analysis::{loss, overhead, AnalysisOptions};
+use prlc_bench::RunOpts;
+use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
+use prlc_sim::{fmt_f, Table};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let profile = if opts.quick {
+        PriorityProfile::new(vec![5, 10, 35]).expect("valid")
+    } else {
+        PriorityProfile::new(vec![50, 100, 350]).expect("valid")
+    };
+    let n = profile.total_blocks();
+    let ana = AnalysisOptions::sharp();
+
+    let dists = [
+        ("uniform", PriorityDistribution::uniform(3)),
+        (
+            "paper case 1",
+            PriorityDistribution::from_weights(vec![0.5138, 0.0768, 0.4094]).expect("valid"),
+        ),
+        (
+            "paper case 3",
+            PriorityDistribution::from_weights(vec![0.2894, 0.3246, 0.3860]).expect("valid"),
+        ),
+    ];
+
+    // Blocks needed per target.
+    let mut budget = Table::new([
+        "distribution",
+        "scheme",
+        "E(X)>=1",
+        "E(X)>=2",
+        "complete @99%",
+    ]);
+    for (name, dist) in &dists {
+        for scheme in [Scheme::Slc, Scheme::Plc] {
+            eprintln!("[ablation_overhead] budgets: {name} / {scheme} ...");
+            let fmt_m = |m: Option<usize>| -> String {
+                m.map_or("-".into(), |v| v.to_string())
+            };
+            budget.push_row([
+                name.to_string(),
+                scheme.to_string(),
+                fmt_m(overhead::blocks_for_expected_levels(
+                    scheme, &profile, dist, 1.0, &ana,
+                )),
+                fmt_m(overhead::blocks_for_expected_levels(
+                    scheme, &profile, dist, 2.0, &ana,
+                )),
+                fmt_m(overhead::blocks_for_complete(
+                    scheme, &profile, dist, 0.99, &ana,
+                )),
+            ]);
+        }
+    }
+    opts.emit(
+        "ablation_overhead_budgets",
+        &format!("Ablation A7a: block budgets per recovery target (N={n})"),
+        &budget,
+    );
+
+    // Survivable loss per storage multiple.
+    let mut surv = Table::new([
+        "distribution",
+        "stored",
+        "max loss for E(X)>=1 (PLC)",
+        "max loss for E(X)>=2 (PLC)",
+    ]);
+    for (name, dist) in &dists {
+        for mult in [1.5f64, 2.0, 3.0] {
+            eprintln!("[ablation_overhead] survivable loss: {name} x{mult} ...");
+            let stored = (mult * n as f64) as usize;
+            let fmt_l = |l: Option<f64>| -> String {
+                l.map_or("-".into(), |v| fmt_f(v, 3))
+            };
+            surv.push_row([
+                name.to_string(),
+                format!("{stored} ({mult}N)"),
+                fmt_l(loss::max_survivable_loss(
+                    Scheme::Plc,
+                    &profile,
+                    dist,
+                    stored,
+                    1.0,
+                    1e-3,
+                    &ana,
+                )),
+                fmt_l(loss::max_survivable_loss(
+                    Scheme::Plc,
+                    &profile,
+                    dist,
+                    stored,
+                    2.0,
+                    1e-3,
+                    &ana,
+                )),
+            ]);
+        }
+    }
+    opts.emit(
+        "ablation_overhead_survivable",
+        &format!("Ablation A7b: survivable loss fraction per storage budget (N={n})"),
+        &surv,
+    );
+}

@@ -1,0 +1,87 @@
+//! Figures 1 and 2 — the paper's worked examples, executed live.
+//!
+//! Fig. 1 shows the coefficient-matrix shapes of RLC, SLC and PLC for
+//! three source blocks in two levels ({x1} critical, {x2, x3} bulk).
+//! Fig. 2 shows partial decoding via Gauss–Jordan elimination: five
+//! coded blocks over six unknowns whose RREF pins down exactly the first
+//! three. This binary regenerates both with real arithmetic over
+//! GF(2⁸) and prints the matrices.
+
+use prlc_core::{Encoder, PriorityProfile, Scheme};
+use prlc_gf::{Gf256, GfElem};
+use prlc_linalg::{rref, Matrix, ProgressiveRref};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1907); // ICDCS 2007 vintage
+
+    // ---- Fig. 1: coefficient shapes --------------------------------
+    println!("== Fig. 1: coefficient matrices (3 blocks, levels {{x1}} | {{x2,x3}}) ==");
+    let profile = PriorityProfile::new(vec![1, 2]).expect("valid profile");
+    for scheme in [Scheme::Rlc, Scheme::Slc, Scheme::Plc] {
+        let enc = Encoder::new(scheme, profile.clone());
+        // One coded block per level (RLC: both rows full-support).
+        let rows: Vec<Vec<Gf256>> = match scheme {
+            Scheme::Rlc => (0..3)
+                .map(|_| enc.encode_coefficients(0, &mut rng))
+                .collect(),
+            _ => vec![
+                enc.encode_coefficients(0, &mut rng),
+                enc.encode_coefficients(1, &mut rng),
+                enc.encode_coefficients(1, &mut rng),
+            ],
+        };
+        let m = Matrix::from_rows(rows);
+        println!("\n({scheme})\n{m:?}");
+    }
+
+    // ---- Fig. 2: partial decoding via RREF -------------------------
+    println!("\n== Fig. 2: Gauss-Jordan partial decoding (5 rows, 6 unknowns) ==");
+    // Rows shaped like the figure: one touching x1 only, two touching
+    // x1..x3, two touching everything.
+    let shapes: [&[usize]; 5] = [
+        &[1, 0, 0, 0, 0, 0],
+        &[1, 1, 1, 0, 0, 0],
+        &[1, 1, 1, 0, 0, 0],
+        &[1, 1, 1, 1, 1, 1],
+        &[1, 1, 1, 1, 1, 1],
+    ];
+    let rows: Vec<Vec<Gf256>> = shapes
+        .iter()
+        .map(|shape| {
+            shape
+                .iter()
+                .map(|&on| {
+                    if on == 1 {
+                        Gf256::random_nonzero(&mut rng)
+                    } else {
+                        Gf256::ZERO
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let decoding_matrix = Matrix::from_rows(rows.clone());
+    println!("\n(a) decoding matrix\n{decoding_matrix:?}");
+
+    let reduced = rref(&decoding_matrix);
+    println!("\n(c) RREF (rank {})\n{:?}", reduced.rank, reduced.matrix);
+
+    // The progressive decoder reaches the same conclusion block by block.
+    let mut dec: ProgressiveRref<Gf256> = ProgressiveRref::new(6);
+    for (i, row) in rows.into_iter().enumerate() {
+        dec.insert(row, ());
+        println!(
+            "after block {}: decoded prefix = {} unknown(s)",
+            i + 1,
+            dec.decoded_prefix()
+        );
+    }
+    assert_eq!(dec.decoded_prefix(), 3, "Fig. 2 decodes exactly x1..x3");
+    println!(
+        "\n=> exactly the first {} unknowns decode from 5 of 6 equations, \
+         as in the paper.",
+        dec.decoded_prefix()
+    );
+}

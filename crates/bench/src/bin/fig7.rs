@@ -1,0 +1,102 @@
+//! Figure 7 — "The decoding curves from the priority distribution of
+//! Table 1" (Sec. 5.3).
+//!
+//! Simulated PLC decoding curves for the three Table-1 priority
+//! distributions (paper values), over the Sec. 5.3 profile (500 source
+//! blocks in levels of 50/100/350). Expected shape: Case 1 reaches level
+//! 1 by ~130 blocks; Case 2 reaches level 2 by ~287; every curve
+//! satisfies its constraints; RLC would decode nothing before 500.
+
+use prlc_analysis::{curves, AnalysisOptions};
+use prlc_bench::{sample_points, RunOpts};
+use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
+use prlc_gf::Gf256;
+use prlc_sim::{fmt_f, simulate_decoding_curve, CurveConfig, Persistence, Table};
+
+const PAPER_ROWS: [[f64; 3]; 3] = [
+    [0.5138, 0.0768, 0.4094],
+    [0.0, 0.6149, 0.3851],
+    [0.2894, 0.3246, 0.3860],
+];
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let (profile, max_blocks, step) = if opts.quick {
+        (
+            PriorityProfile::new(vec![5, 10, 35]).expect("valid profile"),
+            100,
+            10,
+        )
+    } else {
+        (
+            PriorityProfile::new(vec![50, 100, 350]).expect("valid profile"),
+            1000,
+            25,
+        )
+    };
+
+    let mut sims = Vec::new();
+    let dists: Vec<PriorityDistribution> = PAPER_ROWS
+        .iter()
+        .map(|row| PriorityDistribution::from_weights(row.to_vec()).expect("valid distribution"))
+        .collect();
+    for (i, dist) in dists.iter().enumerate() {
+        eprintln!("[fig7] simulating case {} ...", i + 1);
+        sims.push(simulate_decoding_curve::<Gf256>(&CurveConfig {
+            persistence: Persistence::Coding(Scheme::Plc),
+            profile: profile.clone(),
+            distribution: dist.clone(),
+            max_blocks,
+            runs: opts.runs,
+            seed: opts.seed.wrapping_add(7 + i as u64),
+        }));
+    }
+
+    let ana = AnalysisOptions::sharp();
+    let ms = sample_points(max_blocks, step);
+    let mut table = Table::new([
+        "M",
+        "case1 sim",
+        "case1 ci95",
+        "case1 analysis",
+        "case2 sim",
+        "case2 ci95",
+        "case2 analysis",
+        "case3 sim",
+        "case3 ci95",
+        "case3 analysis",
+    ]);
+    for &m in &ms {
+        let mut row = vec![m.to_string()];
+        for (sim, dist) in sims.iter().zip(&dists) {
+            let s = sim.summaries[m];
+            let a = curves::expected_levels(Scheme::Plc, &profile, dist, m, &ana);
+            row.push(fmt_f(s.mean, 4));
+            row.push(fmt_f(s.ci95, 4));
+            row.push(fmt_f(a, 4));
+        }
+        table.push_row(row);
+    }
+    opts.emit(
+        "fig7",
+        "Fig. 7: decoding curves for the Table-1 priority distributions",
+        &table,
+    );
+
+    // Key crossover milestones called out in the paper's text.
+    if !opts.quick {
+        let first_reach = |sim: &prlc_sim::DecodingCurve, level: f64| -> Option<usize> {
+            sim.summaries.iter().position(|s| s.mean >= level)
+        };
+        println!("\nMilestones (first M where the mean curve reaches a level):");
+        for (i, sim) in sims.iter().enumerate() {
+            println!(
+                "  case {}: level 1 at M={:?}, level 2 at M={:?}",
+                i + 1,
+                first_reach(sim, 1.0),
+                first_reach(sim, 2.0)
+            );
+        }
+        println!("  (RLC requires at least 500 coded blocks to decode anything.)");
+    }
+}

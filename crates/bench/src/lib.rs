@@ -1,0 +1,115 @@
+//! Shared plumbing for the benchmark-harness binaries.
+//!
+//! Every `fig*`/`table*`/`ablation_*` binary regenerates one table or
+//! figure of the paper's evaluation (or one ablation from DESIGN.md),
+//! prints the series as an aligned table, and writes a CSV copy under
+//! `results/`. Common flags:
+//!
+//! * `--runs=N` — independent repetitions per data point (default 40;
+//!   the paper uses 100);
+//! * `--paper` — paper fidelity (100 runs);
+//! * `--quick` — smoke-test sizes for CI;
+//! * `--out=DIR` — output directory (default `results/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Common command-line options for harness binaries.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Independent runs per data point.
+    pub runs: usize,
+    /// Smoke-test mode: shrink problem sizes drastically.
+    pub quick: bool,
+    /// Output directory for CSV copies.
+    pub out_dir: PathBuf,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            runs: 40,
+            quick: false,
+            out_dir: PathBuf::from("results"),
+            seed: 0xC0DE,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Parses `std::env::args`, ignoring unknown flags.
+    pub fn from_args() -> Self {
+        let mut opts = RunOpts::default();
+        for arg in std::env::args().skip(1) {
+            if let Some(v) = arg.strip_prefix("--runs=") {
+                opts.runs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("warning: bad --runs value {v:?}, keeping {}", opts.runs);
+                    opts.runs
+                });
+            } else if arg == "--paper" {
+                opts.runs = 100;
+            } else if arg == "--quick" {
+                opts.quick = true;
+                opts.runs = opts.runs.min(8);
+            } else if let Some(v) = arg.strip_prefix("--out=") {
+                opts.out_dir = PathBuf::from(v);
+            } else if let Some(v) = arg.strip_prefix("--seed=") {
+                opts.seed = v.parse().unwrap_or(opts.seed);
+            } else {
+                eprintln!("warning: unknown argument {arg:?}");
+            }
+        }
+        opts
+    }
+
+    /// Prints a rendered table to stdout and writes its CSV twin to
+    /// `<out_dir>/<name>.csv`.
+    pub fn emit(&self, name: &str, title: &str, table: &prlc_sim::Table) {
+        println!("\n== {title} ==\n");
+        print!("{}", table.render());
+        if let Err(e) = fs::create_dir_all(&self.out_dir) {
+            eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
+            return;
+        }
+        let path = self.out_dir.join(format!("{name}.csv"));
+        match fs::write(&path, table.to_csv()) {
+            Ok(()) => println!("\n[written {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Evenly spaced sample points `0..=max` with the given step (always
+/// includes `max`).
+pub fn sample_points(max: usize, step: usize) -> Vec<usize> {
+    let mut pts: Vec<usize> = (0..=max).step_by(step.max(1)).collect();
+    if *pts.last().unwrap_or(&0) != max {
+        pts.push(max);
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_points_cover_endpoints() {
+        assert_eq!(sample_points(10, 5), vec![0, 5, 10]);
+        assert_eq!(sample_points(11, 5), vec![0, 5, 10, 11]);
+        assert_eq!(sample_points(0, 5), vec![0]);
+        assert_eq!(sample_points(3, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn default_opts() {
+        let o = RunOpts::default();
+        assert_eq!(o.runs, 40);
+        assert!(!o.quick);
+    }
+}

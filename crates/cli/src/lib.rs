@@ -1,0 +1,29 @@
+//! Library backing the `prlc` command-line tool.
+//!
+//! The CLI turns a file into priority-coded shard files and recovers the
+//! file — possibly *partially*, most important bytes first — from
+//! whatever subset of shards survives:
+//!
+//! ```text
+//! prlc encode report.pdf --out shards/ --levels 10,30,60 --overhead 2.0
+//! rm shards/shard-07*.prlc  …lose shards…
+//! prlc decode shards/ --out recovered.pdf --allow-partial
+//! prlc info shards/
+//! ```
+//!
+//! Design: the file is split into fixed-size source blocks; the priority
+//! profile assigns the *leading* portion of the file to the most
+//! important levels (matching PLC's prefix-decoding order, and the
+//! layered-data use cases of the paper — multi-resolution imagery,
+//! layered compression — where a file prefix is independently useful).
+//! Each shard file carries one coded block in the container format of
+//! [`mod@format`], including its dense coefficient vector, so decoding needs
+//! no side channel beyond the manifest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod format;
+
+pub use commands::{decode, encode, info, DecodeOptions, DecodeOutcome, EncodeOptions};

@@ -1,0 +1,187 @@
+//! The `prlc` command-line tool: priority-coded file persistence.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use prlc_cli::{decode, encode, info, DecodeOptions, EncodeOptions};
+use prlc_core::Scheme;
+
+const USAGE: &str = "\
+prlc — priority random linear codes for files (ICDCS 2007 reproduction)
+
+USAGE:
+  prlc encode <FILE> --out <DIR> [--block-size N] [--levels a,b,c]
+              [--overhead X] [--scheme rlc|slc|plc] [--seed S]
+  prlc decode <DIR> --out <FILE> [--allow-partial]
+  prlc info <DIR>
+
+The encoder splits FILE into priority levels (leading bytes = most
+important), generates overhead·N coded shards, and writes them plus a
+manifest into DIR. The decoder recovers the file from whatever shards
+remain — with --allow-partial it writes the longest decodable prefix.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    match command.as_str() {
+        "encode" => cmd_encode(&args[1..]),
+        "decode" => cmd_decode(&args[1..]),
+        "info" => cmd_info(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+/// Pulls `--flag value` or `--flag=value` out of `args`.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    let prefix = format!("{flag}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Ok(Some(v.to_string()));
+        }
+        if a == flag {
+            return match args.get(i + 1) {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("{flag} needs a value")),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn positional(args: &[String]) -> Option<&String> {
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if let Some(stripped) = a.strip_prefix("--") {
+            skip_next = !stripped.contains('=') && !matches!(stripped, "allow-partial");
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
+fn cmd_encode(args: &[String]) -> Result<(), String> {
+    let input = positional(args).ok_or("encode: missing input file")?;
+    let out = flag_value(args, "--out")?.ok_or("encode: missing --out DIR")?;
+    let mut opts = EncodeOptions::default();
+    if let Some(v) = flag_value(args, "--block-size")? {
+        opts.block_size = v.parse().map_err(|_| "bad --block-size")?;
+    }
+    if let Some(v) = flag_value(args, "--levels")? {
+        opts.level_shares = v
+            .split(',')
+            .map(|s| s.trim().parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| "bad --levels (expect e.g. 10,30,60)")?;
+    }
+    if let Some(v) = flag_value(args, "--overhead")? {
+        opts.overhead = v.parse().map_err(|_| "bad --overhead")?;
+    }
+    if let Some(v) = flag_value(args, "--scheme")? {
+        opts.scheme = match v.to_ascii_lowercase().as_str() {
+            "rlc" => Scheme::Rlc,
+            "slc" => Scheme::Slc,
+            "plc" => Scheme::Plc,
+            _ => return Err("bad --scheme (rlc|slc|plc)".into()),
+        };
+    }
+    if let Some(v) = flag_value(args, "--seed")? {
+        opts.seed = v.parse().map_err(|_| "bad --seed")?;
+    }
+    let shards =
+        encode(&PathBuf::from(input), &PathBuf::from(&out), &opts).map_err(|e| e.to_string())?;
+    println!("wrote {shards} shards + manifest to {out}");
+    Ok(())
+}
+
+fn cmd_decode(args: &[String]) -> Result<(), String> {
+    let dir = positional(args).ok_or("decode: missing shard directory")?;
+    let out = flag_value(args, "--out")?.ok_or("decode: missing --out FILE")?;
+    let opts = DecodeOptions {
+        allow_partial: has_flag(args, "--allow-partial"),
+    };
+    let outcome =
+        decode(&PathBuf::from(dir), &PathBuf::from(&out), &opts).map_err(|e| e.to_string())?;
+    if outcome.complete {
+        println!(
+            "recovered {} bytes (complete, integrity verified) from {} shards",
+            outcome.recovered_bytes, outcome.shards_read
+        );
+    } else {
+        println!(
+            "partial recovery: {} bytes, {}/{} priority levels, from {} shards \
+             ({} skipped)",
+            outcome.recovered_bytes,
+            outcome.levels_recovered,
+            outcome.levels_total,
+            outcome.shards_read,
+            outcome.shards_skipped
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let dir = positional(args).ok_or("info: missing shard directory")?;
+    let report = info(&PathBuf::from(dir)).map_err(|e| e.to_string())?;
+    let m = &report.manifest;
+    println!("file length : {} bytes", m.file_len);
+    println!("block size  : {} bytes", m.block_size);
+    println!("scheme      : {:?}", m.scheme);
+    println!(
+        "blocks      : {} in {} levels",
+        m.total_blocks(),
+        m.level_sizes.len()
+    );
+    for (i, (&size, &present)) in m
+        .level_sizes
+        .iter()
+        .zip(&report.shards_per_level)
+        .enumerate()
+    {
+        let status = if present >= size as usize {
+            "likely decodable"
+        } else {
+            "under-provisioned"
+        };
+        println!(
+            "  level {}: {} source blocks, {} shards present ({status})",
+            i + 1,
+            size,
+            present
+        );
+    }
+    if report.shards_skipped > 0 {
+        println!(
+            "skipped     : {} corrupt/foreign files",
+            report.shards_skipped
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,162 @@
+//! End-to-end tests spawning the real `prlc` binary.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn prlc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_prlc"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("prlc-bin-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = prlc().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("encode"));
+    assert!(text.contains("decode"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = prlc().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn encode_decode_roundtrip_via_binary() {
+    let dir = temp_dir("roundtrip");
+    let input = dir.join("data.bin");
+    let data: Vec<u8> = (0..20_000).map(|i| (i * 131 % 251) as u8).collect();
+    fs::write(&input, &data).unwrap();
+    let shards = dir.join("shards");
+
+    let out = prlc()
+        .args([
+            "encode",
+            input.to_str().unwrap(),
+            "--out",
+            shards.to_str().unwrap(),
+            "--overhead",
+            "2.0",
+            "--levels",
+            "20,80",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "encode failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let info = prlc()
+        .args(["info", shards.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("20000 bytes"), "{text}");
+    assert!(text.contains("likely decodable"), "{text}");
+
+    let recovered = dir.join("out.bin");
+    let out = prlc()
+        .args([
+            "decode",
+            shards.to_str().unwrap(),
+            "--out",
+            recovered.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "decode failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(fs::read(&recovered).unwrap(), data);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("integrity verified"), "{text}");
+
+    fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn partial_decode_via_binary_after_shard_loss() {
+    let dir = temp_dir("partial");
+    let input = dir.join("data.bin");
+    let data: Vec<u8> = (0..30_000).map(|i| (i % 256) as u8).collect();
+    fs::write(&input, &data).unwrap();
+    let shards = dir.join("shards");
+
+    assert!(prlc()
+        .args([
+            "encode",
+            input.to_str().unwrap(),
+            "--out",
+            shards.to_str().unwrap(),
+            "--overhead",
+            "1.5",
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    // Delete the back half of the shard files (bulk levels).
+    let mut files: Vec<PathBuf> = fs::read_dir(&shards)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "prlc"))
+        .collect();
+    files.sort();
+    for f in files.iter().skip(files.len() / 3) {
+        fs::remove_file(f).unwrap();
+    }
+
+    let recovered = dir.join("out.bin");
+    // Without --allow-partial: non-zero exit.
+    let strict = prlc()
+        .args([
+            "decode",
+            shards.to_str().unwrap(),
+            "--out",
+            recovered.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!strict.status.success());
+
+    // With --allow-partial: prefix written, exit 0.
+    let partial = prlc()
+        .args([
+            "decode",
+            shards.to_str().unwrap(),
+            "--out",
+            recovered.to_str().unwrap(),
+            "--allow-partial",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        partial.status.success(),
+        "{}",
+        String::from_utf8_lossy(&partial.stderr)
+    );
+    let text = String::from_utf8_lossy(&partial.stdout);
+    assert!(text.contains("partial recovery"), "{text}");
+    let prefix = fs::read(&recovered).unwrap();
+    assert!(!prefix.is_empty());
+    assert_eq!(&data[..prefix.len()], &prefix[..]);
+
+    fs::remove_dir_all(dir).unwrap();
+}

@@ -1,0 +1,17 @@
+//! Baseline persistence schemes the paper compares against (directly or
+//! in its related-work discussion).
+//!
+//! * [`replication`] — priority-aware replication ("no coding"): each
+//!   stored block is a verbatim copy of one source block. This is the
+//!   degenerate SLC with one source block per level; recovery suffers the
+//!   coupon-collector effect the paper invokes in Sec. 5.2.
+//! * [`growth`] — Growth Codes (Kamra, Feldman, Misra, Rubenstein —
+//!   SIGCOMM 2006): XOR codewords whose degree grows as the sink decodes,
+//!   maximising *total* partial recovery but treating all data uniformly;
+//!   the paper's Sec. 6 positions PRLC against exactly this property.
+
+pub mod growth;
+pub mod replication;
+
+pub use growth::{GrowthDecoder, GrowthEncoder};
+pub use replication::{ReplicationDecoder, ReplicationEncoder};

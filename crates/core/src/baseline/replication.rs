@@ -1,0 +1,230 @@
+//! Priority-aware replication: the "no coding" baseline.
+//!
+//! Each stored block is a verbatim copy of one source block, chosen by
+//! first sampling a priority level from the priority distribution and
+//! then a block uniformly within the level. Collecting random copies
+//! recovers a level only once *every* block of the level has been seen —
+//! the coupon-collector behaviour that motivates coding in the first
+//! place (Sec. 5.2: "In the extreme case where each level contains one
+//! source block, SLC degrades to the scheme of no coding").
+
+use prlc_gf::GfElem;
+use rand::Rng;
+
+use crate::priority::{PriorityDistribution, PriorityProfile};
+
+/// Generates replica "coded" blocks.
+#[derive(Debug, Clone)]
+pub struct ReplicationEncoder {
+    profile: PriorityProfile,
+}
+
+/// One replica: the index of the copied source block and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replica<F> {
+    /// Index of the copied source block.
+    pub source: usize,
+    /// The copied payload (may be empty for decodability-only runs).
+    pub payload: Vec<F>,
+}
+
+impl ReplicationEncoder {
+    /// An encoder over the given profile.
+    pub fn new(profile: PriorityProfile) -> Self {
+        ReplicationEncoder { profile }
+    }
+
+    /// The priority profile.
+    pub fn profile(&self) -> &PriorityProfile {
+        &self.profile
+    }
+
+    /// Copies one uniformly-random source block from `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range or `sources.len() != N`.
+    pub fn encode<F: GfElem, R: Rng + ?Sized>(
+        &self,
+        level: usize,
+        sources: &[Vec<F>],
+        rng: &mut R,
+    ) -> Replica<F> {
+        assert_eq!(
+            sources.len(),
+            self.profile.total_blocks(),
+            "source count does not match profile"
+        );
+        let range = self.profile.blocks_of(level);
+        let source = rng.gen_range(range);
+        Replica {
+            source,
+            payload: sources[source].clone(),
+        }
+    }
+
+    /// Samples a level from `dist`, then copies a block from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution's level count differs from the
+    /// profile's.
+    pub fn encode_random_level<F: GfElem, R: Rng + ?Sized>(
+        &self,
+        dist: &PriorityDistribution,
+        sources: &[Vec<F>],
+        rng: &mut R,
+    ) -> Replica<F> {
+        assert_eq!(dist.num_levels(), self.profile.num_levels());
+        let level = dist.sample_level(rng);
+        self.encode(level, sources, rng)
+    }
+}
+
+/// Collects replicas and reports coupon-collector recovery progress.
+#[derive(Debug, Clone)]
+pub struct ReplicationDecoder<F> {
+    profile: PriorityProfile,
+    recovered: Vec<Option<Vec<F>>>,
+    /// Number of distinct blocks seen per level.
+    level_counts: Vec<usize>,
+    distinct: usize,
+    processed: usize,
+}
+
+impl<F: GfElem> ReplicationDecoder<F> {
+    /// A decoder over the given profile.
+    pub fn new(profile: PriorityProfile) -> Self {
+        let n = profile.total_blocks();
+        let levels = profile.num_levels();
+        ReplicationDecoder {
+            profile,
+            recovered: vec![None; n],
+            level_counts: vec![0; levels],
+            distinct: 0,
+            processed: 0,
+        }
+    }
+
+    /// Feeds one replica. Returns `true` if it was a new block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica's source index is out of range.
+    pub fn insert(&mut self, replica: &Replica<F>) -> bool {
+        self.processed += 1;
+        let idx = replica.source;
+        assert!(
+            idx < self.recovered.len(),
+            "replica source {idx} out of range"
+        );
+        if self.recovered[idx].is_some() {
+            return false;
+        }
+        self.recovered[idx] = Some(replica.payload.clone());
+        self.level_counts[self.profile.level_of(idx)] += 1;
+        self.distinct += 1;
+        true
+    }
+
+    /// Consecutive fully-recovered levels from the most important — the
+    /// same strict-priority metric as the coding decoders.
+    pub fn decoded_levels(&self) -> usize {
+        (0..self.profile.num_levels())
+            .take_while(|&l| self.level_counts[l] == self.profile.size(l))
+            .count()
+    }
+
+    /// Total distinct source blocks recovered.
+    pub fn decoded_blocks(&self) -> usize {
+        self.distinct
+    }
+
+    /// Whether every source block has been seen.
+    pub fn is_complete(&self) -> bool {
+        self.distinct == self.recovered.len()
+    }
+
+    /// Replicas processed, including duplicates.
+    pub fn blocks_processed(&self) -> usize {
+        self.processed
+    }
+
+    /// The recovered payload of source block `idx`, if seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn recovered(&self, idx: usize) -> Option<&[F]> {
+        self.recovered[idx].as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prlc_gf::Gf256;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (PriorityProfile, Vec<Vec<Gf256>>, StdRng) {
+        let rng = StdRng::seed_from_u64(77);
+        let profile = PriorityProfile::new(vec![2, 3]).unwrap();
+        let sources = (0..5)
+            .map(|i| vec![Gf256::from_index(i * 11 % 256)])
+            .collect();
+        (profile, sources, rng)
+    }
+
+    #[test]
+    fn replicas_copy_payload_verbatim() {
+        let (p, srcs, mut rng) = setup();
+        let enc = ReplicationEncoder::new(p);
+        for _ in 0..20 {
+            let r = enc.encode(1, &srcs, &mut rng);
+            assert!((2..5).contains(&r.source));
+            assert_eq!(r.payload, srcs[r.source]);
+        }
+    }
+
+    #[test]
+    fn decoder_counts_distinct_blocks() {
+        let (p, srcs, _) = setup();
+        let mut dec = ReplicationDecoder::new(p);
+        let replica = Replica {
+            source: 0,
+            payload: srcs[0].clone(),
+        };
+        assert!(dec.insert(&replica));
+        assert!(!dec.insert(&replica)); // duplicate
+        assert_eq!(dec.decoded_blocks(), 1);
+        assert_eq!(dec.blocks_processed(), 2);
+        assert_eq!(dec.decoded_levels(), 0); // level 0 needs both blocks
+
+        let replica1 = Replica {
+            source: 1,
+            payload: srcs[1].clone(),
+        };
+        dec.insert(&replica1);
+        assert_eq!(dec.decoded_levels(), 1);
+        assert_eq!(dec.recovered(1).unwrap(), &srcs[1][..]);
+        assert!(dec.recovered(3).is_none());
+        assert!(!dec.is_complete());
+    }
+
+    #[test]
+    fn coupon_collector_completes_eventually() {
+        let (p, srcs, mut rng) = setup();
+        let enc = ReplicationEncoder::new(p.clone());
+        let dist = crate::priority::PriorityDistribution::uniform(2);
+        let mut dec = ReplicationDecoder::new(p);
+        let mut draws = 0;
+        while !dec.is_complete() {
+            dec.insert(&enc.encode_random_level(&dist, &srcs, &mut rng));
+            draws += 1;
+            assert!(draws < 10_000, "coupon collection failed to finish");
+        }
+        assert_eq!(dec.decoded_levels(), 2);
+        assert_eq!(dec.decoded_blocks(), 5);
+    }
+}

@@ -1,0 +1,204 @@
+//! Coded blocks: coefficients plus payload.
+
+use prlc_gf::GfElem;
+
+/// A coded block: the coding coefficients over all `N` source blocks
+/// plus the encoded payload.
+///
+/// The coefficient vector is dense (length `N`); entries outside the
+/// scheme's support for `level` are zero. The payload is the
+/// corresponding linear combination of the source payloads and may be
+/// empty when an experiment tracks decodability only.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CodedBlock<F> {
+    /// The priority level this block was generated at (0 = most
+    /// important).
+    pub level: usize,
+    /// Dense coding coefficients `β_{i,1} … β_{i,N}`.
+    pub coefficients: Vec<F>,
+    /// The encoded data `c_i = Σ_j β_{i,j} x_j` (may be empty).
+    pub payload: Vec<F>,
+}
+
+impl<F: GfElem> CodedBlock<F> {
+    /// Number of nonzero coding coefficients (the block's degree).
+    pub fn degree(&self) -> usize {
+        self.coefficients.iter().filter(|c| !c.is_zero()).count()
+    }
+
+    /// Indices of the source blocks this block combines.
+    pub fn support(&self) -> impl Iterator<Item = usize> + '_ {
+        self.coefficients
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| (!c.is_zero()).then_some(i))
+    }
+
+    /// Folds another source block into this coded block in place:
+    /// `c ← c + β·x` — the incremental encoding step each caching node
+    /// performs in the pre-distribution protocol (Sec. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source_idx` is out of range, or if the payload lengths
+    /// differ (unless this block's payload is empty, in which case it is
+    /// initialised to zeros of the right length first).
+    pub fn accumulate(&mut self, source_idx: usize, beta: F, data: &[F]) {
+        assert!(
+            source_idx < self.coefficients.len(),
+            "source index {source_idx} out of range"
+        );
+        self.coefficients[source_idx] = self.coefficients[source_idx].gf_add(beta);
+        if self.payload.is_empty() && !data.is_empty() {
+            self.payload = vec![F::ZERO; data.len()];
+        }
+        F::axpy(&mut self.payload, beta, data);
+    }
+
+    /// Folds a whole coded block into this one: `self ← self + β·other`.
+    ///
+    /// Because coding is linear, a random combination of valid coded
+    /// blocks is itself a valid coded block whose support is the union
+    /// of the inputs' supports — the primitive behind in-network
+    /// *repair* (re-creating lost coded blocks from surviving ones
+    /// without touching the original sources).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient widths differ, or if both payloads are
+    /// non-empty with different lengths. An empty payload on either side
+    /// is treated as "not tracking payloads" and stays consistent.
+    pub fn combine(&mut self, other: &CodedBlock<F>, beta: F) {
+        assert_eq!(
+            self.coefficients.len(),
+            other.coefficients.len(),
+            "combine: coefficient width mismatch"
+        );
+        F::axpy(&mut self.coefficients, beta, &other.coefficients);
+        if other.payload.is_empty() {
+            return;
+        }
+        if self.payload.is_empty() {
+            self.payload = vec![F::ZERO; other.payload.len()];
+        }
+        F::axpy(&mut self.payload, beta, &other.payload);
+    }
+
+    /// An all-zero coded block over `n` source blocks at `level`, ready
+    /// for incremental [`accumulate`](Self::accumulate) encoding.
+    pub fn empty(level: usize, n: usize) -> Self {
+        CodedBlock {
+            level,
+            coefficients: vec![F::ZERO; n],
+            payload: Vec::new(),
+        }
+    }
+
+    /// Whether no source block has been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.coefficients.iter().all(|c| c.is_zero())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prlc_gf::Gf256;
+
+    fn g(v: usize) -> Gf256 {
+        Gf256::from_index(v)
+    }
+
+    #[test]
+    fn empty_block_accumulates() {
+        let mut b: CodedBlock<Gf256> = CodedBlock::empty(1, 4);
+        assert!(b.is_empty());
+        assert_eq!(b.degree(), 0);
+
+        b.accumulate(2, g(5), &[g(10), g(20)]);
+        assert!(!b.is_empty());
+        assert_eq!(b.degree(), 1);
+        assert_eq!(b.support().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(b.payload, vec![g(5) * g(10), g(5) * g(20)]);
+
+        b.accumulate(0, g(3), &[g(1), g(2)]);
+        assert_eq!(b.degree(), 2);
+        assert_eq!(b.payload[0], g(5) * g(10) + g(3) * g(1));
+    }
+
+    #[test]
+    fn accumulate_same_index_adds_coefficients() {
+        let mut b: CodedBlock<Gf256> = CodedBlock::empty(0, 2);
+        b.accumulate(0, g(5), &[g(1)]);
+        b.accumulate(0, g(5), &[g(1)]);
+        // In GF(2^8), beta + beta = 0: the contributions cancel.
+        assert_eq!(b.coefficients[0], Gf256::ZERO);
+        assert_eq!(b.payload[0], Gf256::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn accumulate_bad_index_panics() {
+        let mut b: CodedBlock<Gf256> = CodedBlock::empty(0, 2);
+        b.accumulate(2, g(1), &[]);
+    }
+
+    #[test]
+    fn combine_is_a_valid_linear_combination() {
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(8)
+        };
+        let sources: Vec<Vec<Gf256>> = (0..3)
+            .map(|_| (0..2).map(|_| Gf256::random(&mut rng)).collect())
+            .collect();
+        let mk = |coeffs: &[usize]| -> CodedBlock<Gf256> {
+            let mut b = CodedBlock::empty(0, 3);
+            for (i, &c) in coeffs.iter().enumerate() {
+                if c != 0 {
+                    b.accumulate(i, g(c), &sources[i]);
+                }
+            }
+            b
+        };
+        let a = mk(&[1, 2, 0]);
+        let b = mk(&[0, 3, 4]);
+        let mut combined = a.clone();
+        combined.combine(&b, g(7));
+        // Coefficients and payload must agree with re-encoding from the
+        // combined coefficient vector.
+        let mut want = vec![Gf256::ZERO; 2];
+        for (c, s) in combined.coefficients.iter().zip(&sources) {
+            Gf256::axpy(&mut want, *c, s);
+        }
+        assert_eq!(combined.payload, want);
+        assert_eq!(
+            combined.coefficients[1],
+            a.coefficients[1] + g(7) * b.coefficients[1]
+        );
+    }
+
+    #[test]
+    fn combine_handles_empty_payloads() {
+        let mut a: CodedBlock<Gf256> = CodedBlock::empty(0, 2);
+        a.accumulate(0, g(5), &[]);
+        let mut b: CodedBlock<Gf256> = CodedBlock::empty(0, 2);
+        b.accumulate(1, g(3), &[g(9)]);
+        // a has no payload yet; combining with b initialises it.
+        a.combine(&b, g(2));
+        assert_eq!(a.payload, vec![g(2) * g(3) * g(9)]);
+        // Combining with a payload-less block leaves payload untouched.
+        let c: CodedBlock<Gf256> = CodedBlock::empty(0, 2);
+        let before = a.payload.clone();
+        a.combine(&c, g(4));
+        assert_eq!(a.payload, before);
+    }
+
+    #[test]
+    fn coefficient_only_blocks_have_empty_payload() {
+        let mut b: CodedBlock<Gf256> = CodedBlock::empty(0, 3);
+        b.accumulate(1, g(9), &[]);
+        assert!(b.payload.is_empty());
+        assert_eq!(b.degree(), 1);
+    }
+}

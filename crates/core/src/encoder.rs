@@ -1,0 +1,311 @@
+//! Encoders for RLC, SLC and PLC coded blocks.
+
+use prlc_gf::GfElem;
+use rand::seq::index::sample;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::block::CodedBlock;
+use crate::priority::{PriorityDistribution, PriorityProfile};
+use crate::scheme::Scheme;
+
+/// How many source blocks a coded block combines within its support.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Degree {
+    /// Every source block in the support gets a nonzero coefficient —
+    /// the textbook construction of Sec. 3.1.
+    Full,
+    /// Each coded block combines `min(support, ceil(factor · ln N))`
+    /// source blocks chosen uniformly within its support — the sparse
+    /// construction the pre-distribution protocol relies on (Sec. 4,
+    /// after Dimakis et al.'s decentralized erasure codes, where
+    /// `O(ln N)` nonzero coefficients per row suffice for decoding with
+    /// high probability).
+    Sparse {
+        /// The constant `c` in `c · ln N`.
+        factor: f64,
+    },
+}
+
+impl Degree {
+    /// The number of nonzero coefficients for a support of `support_len`
+    /// source blocks out of `n` total.
+    ///
+    /// The sparse degree scales with `ln N` of the *total* system, as in
+    /// Dimakis et al., but is clamped to the support size and to at
+    /// least 1.
+    pub fn nonzeros(self, support_len: usize, n: usize) -> usize {
+        match self {
+            Degree::Full => support_len,
+            Degree::Sparse { factor } => {
+                let d = (factor * (n.max(2) as f64).ln()).ceil() as usize;
+                d.clamp(1, support_len)
+            }
+        }
+    }
+}
+
+/// Generates coded blocks for one (scheme, profile) pair.
+///
+/// The encoder itself is stateless; randomness comes from the `Rng`
+/// passed to each call, so experiments stay reproducible under a fixed
+/// seed.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    scheme: Scheme,
+    profile: PriorityProfile,
+    degree: Degree,
+}
+
+impl Encoder {
+    /// An encoder producing full-density coded blocks.
+    pub fn new(scheme: Scheme, profile: PriorityProfile) -> Self {
+        Encoder {
+            scheme,
+            profile,
+            degree: Degree::Full,
+        }
+    }
+
+    /// An encoder producing sparse coded blocks with `c · ln N` nonzero
+    /// coefficients.
+    pub fn sparse(scheme: Scheme, profile: PriorityProfile, factor: f64) -> Self {
+        Encoder {
+            scheme,
+            profile,
+            degree: Degree::Sparse { factor },
+        }
+    }
+
+    /// The scheme this encoder generates.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The priority profile.
+    pub fn profile(&self) -> &PriorityProfile {
+        &self.profile
+    }
+
+    /// The degree policy.
+    pub fn degree(&self) -> Degree {
+        self.degree
+    }
+
+    /// Generates the dense coefficient vector of one coded block at
+    /// `level`. Coefficients inside the chosen support are uniformly
+    /// random *nonzero* field elements; everything else is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= profile.num_levels()`.
+    pub fn encode_coefficients<F: GfElem, R: Rng + ?Sized>(
+        &self,
+        level: usize,
+        rng: &mut R,
+    ) -> Vec<F> {
+        let n = self.profile.total_blocks();
+        let support = self.scheme.support(&self.profile, level);
+        let support_len = support.len();
+        let mut coeffs = vec![F::ZERO; n];
+        match self.degree {
+            Degree::Full => {
+                for c in &mut coeffs[support] {
+                    *c = F::random_nonzero(rng);
+                }
+            }
+            Degree::Sparse { .. } => {
+                let d = self.degree.nonzeros(support_len, n);
+                for idx in sample(rng, support_len, d) {
+                    coeffs[support.start + idx] = F::random_nonzero(rng);
+                }
+            }
+        }
+        coeffs
+    }
+
+    /// Generates one coded block at `level`, encoding the given source
+    /// payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range, if `sources.len()` differs from
+    /// the profile's total block count, or if source payload lengths
+    /// differ within the support.
+    pub fn encode<F: GfElem, R: Rng + ?Sized>(
+        &self,
+        level: usize,
+        sources: &[Vec<F>],
+        rng: &mut R,
+    ) -> CodedBlock<F> {
+        assert_eq!(
+            sources.len(),
+            self.profile.total_blocks(),
+            "source count does not match profile"
+        );
+        let coefficients = self.encode_coefficients::<F, R>(level, rng);
+        let blk_len = sources.first().map_or(0, Vec::len);
+        let mut payload = vec![F::ZERO; blk_len];
+        for (c, s) in coefficients.iter().zip(sources) {
+            if !c.is_zero() {
+                F::axpy(&mut payload, *c, s);
+            }
+        }
+        CodedBlock {
+            level,
+            coefficients,
+            payload,
+        }
+    }
+
+    /// Generates one coefficient-only coded block (empty payload) at
+    /// `level` — the fast path for decodability experiments.
+    pub fn encode_unpayloaded<F: GfElem, R: Rng + ?Sized>(
+        &self,
+        level: usize,
+        rng: &mut R,
+    ) -> CodedBlock<F> {
+        CodedBlock {
+            level,
+            coefficients: self.encode_coefficients::<F, R>(level, rng),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Samples a level from `dist` and encodes one block at it — the
+    /// random accumulation model of the paper's evaluation (Sec. 5: "we
+    /// randomly generate a set of coded blocks according to the priority
+    /// distribution").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dist.num_levels() != profile.num_levels()`.
+    pub fn encode_random_level<F: GfElem, R: Rng + ?Sized>(
+        &self,
+        dist: &PriorityDistribution,
+        sources: &[Vec<F>],
+        rng: &mut R,
+    ) -> CodedBlock<F> {
+        assert_eq!(
+            dist.num_levels(),
+            self.profile.num_levels(),
+            "distribution level count does not match profile"
+        );
+        let level = dist.sample_level(rng);
+        self.encode(level, sources, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prlc_gf::Gf256;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile() -> PriorityProfile {
+        PriorityProfile::new(vec![2, 3, 5]).unwrap()
+    }
+
+    fn sources(rng: &mut StdRng) -> Vec<Vec<Gf256>> {
+        (0..10)
+            .map(|_| (0..3).map(|_| Gf256::random(rng)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn full_density_respects_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for scheme in Scheme::ALL {
+            let enc = Encoder::new(scheme, profile());
+            for level in 0..3 {
+                let coeffs: Vec<Gf256> = enc.encode_coefficients(level, &mut rng);
+                let support = scheme.support(&profile(), level);
+                for (i, c) in coeffs.iter().enumerate() {
+                    if support.contains(&i) {
+                        assert!(!c.is_zero(), "{scheme} level {level} idx {i}");
+                    } else {
+                        assert!(c.is_zero(), "{scheme} level {level} idx {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_degree_counts() {
+        assert_eq!(Degree::Full.nonzeros(7, 100), 7);
+        let s = Degree::Sparse { factor: 2.0 };
+        // 2 * ln(100) ~ 9.2 -> 10, clamped to support.
+        assert_eq!(s.nonzeros(100, 100), 10);
+        assert_eq!(s.nonzeros(4, 100), 4);
+        assert_eq!(s.nonzeros(1, 100), 1);
+        // Degenerate: never zero.
+        let tiny = Degree::Sparse { factor: 0.0 };
+        assert_eq!(tiny.nonzeros(5, 100), 1);
+    }
+
+    #[test]
+    fn sparse_encoding_has_requested_degree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = PriorityProfile::new(vec![100, 100]).unwrap();
+        let enc = Encoder::sparse(Scheme::Plc, p.clone(), 2.0);
+        let want = Degree::Sparse { factor: 2.0 }.nonzeros(200, 200);
+        for _ in 0..10 {
+            let coeffs: Vec<Gf256> = enc.encode_coefficients(1, &mut rng);
+            let nz = coeffs.iter().filter(|c| !c.is_zero()).count();
+            assert_eq!(nz, want);
+            // Support must stay within PLC's prefix 0..200 (trivially
+            // true here) and coefficients within level-0's range allowed.
+        }
+        // Level 0 support is 0..100: no nonzero beyond.
+        let coeffs: Vec<Gf256> = enc.encode_coefficients(0, &mut rng);
+        assert!(coeffs[100..].iter().all(|c| c.is_zero()));
+    }
+
+    #[test]
+    fn payload_is_correct_linear_combination() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let srcs = sources(&mut rng);
+        let enc = Encoder::new(Scheme::Plc, profile());
+        let block = enc.encode(2, &srcs, &mut rng);
+        let mut want = vec![Gf256::ZERO; 3];
+        for (c, s) in block.coefficients.iter().zip(&srcs) {
+            for (w, &x) in want.iter_mut().zip(s) {
+                *w = w.gf_add(c.gf_mul(x));
+            }
+        }
+        assert_eq!(block.payload, want);
+        assert_eq!(block.level, 2);
+    }
+
+    #[test]
+    fn unpayloaded_blocks_are_cheap() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let enc = Encoder::new(Scheme::Slc, profile());
+        let b: CodedBlock<Gf256> = enc.encode_unpayloaded(1, &mut rng);
+        assert!(b.payload.is_empty());
+        assert_eq!(b.degree(), 3); // SLC level 1 has 3 blocks
+    }
+
+    #[test]
+    fn random_level_follows_distribution() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let srcs = sources(&mut rng);
+        let enc = Encoder::new(Scheme::Slc, profile());
+        let dist = PriorityDistribution::from_weights(vec![0.0, 0.0, 1.0]).unwrap();
+        for _ in 0..20 {
+            let b = enc.encode_random_level(&dist, &srcs, &mut rng);
+            assert_eq!(b.level, 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "source count")]
+    fn encode_wrong_source_count_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let enc = Encoder::new(Scheme::Rlc, profile());
+        let srcs: Vec<Vec<Gf256>> = vec![vec![Gf256::ONE]; 3];
+        enc.encode(0, &srcs, &mut rng);
+    }
+}

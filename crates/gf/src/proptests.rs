@@ -1,0 +1,149 @@
+//! Property-based tests for the field axioms on all three fields.
+
+use proptest::prelude::*;
+
+use crate::{Gf16, Gf256, Gf64k, GfElem};
+
+macro_rules! field_axiom_tests {
+    ($modname:ident, $ty:ty) => {
+        mod $modname {
+            use super::*;
+
+            fn elem() -> impl Strategy<Value = $ty> {
+                (0..<$ty as GfElem>::ORDER).prop_map(<$ty>::from_index)
+            }
+
+            proptest! {
+                #[test]
+                fn add_commutative(a in elem(), b in elem()) {
+                    prop_assert_eq!(a + b, b + a);
+                }
+
+                #[test]
+                fn add_associative(a in elem(), b in elem(), c in elem()) {
+                    prop_assert_eq!((a + b) + c, a + (b + c));
+                }
+
+                #[test]
+                fn mul_commutative(a in elem(), b in elem()) {
+                    prop_assert_eq!(a * b, b * a);
+                }
+
+                #[test]
+                fn mul_associative(a in elem(), b in elem(), c in elem()) {
+                    prop_assert_eq!((a * b) * c, a * (b * c));
+                }
+
+                #[test]
+                fn distributive(a in elem(), b in elem(), c in elem()) {
+                    prop_assert_eq!(a * (b + c), a * b + a * c);
+                }
+
+                #[test]
+                fn additive_identity(a in elem()) {
+                    prop_assert_eq!(a + <$ty as GfElem>::ZERO, a);
+                }
+
+                #[test]
+                fn multiplicative_identity(a in elem()) {
+                    prop_assert_eq!(a * <$ty as GfElem>::ONE, a);
+                }
+
+                #[test]
+                fn mul_by_zero_annihilates(a in elem()) {
+                    prop_assert_eq!(a * <$ty as GfElem>::ZERO, <$ty as GfElem>::ZERO);
+                }
+
+                #[test]
+                fn inverse_roundtrip(a in elem()) {
+                    match a.gf_inv() {
+                        Some(inv) => prop_assert_eq!(a * inv, <$ty as GfElem>::ONE),
+                        None => prop_assert!(a.is_zero()),
+                    }
+                }
+
+                #[test]
+                fn div_then_mul_roundtrip(a in elem(), b in elem()) {
+                    prop_assume!(!b.is_zero());
+                    prop_assert_eq!((a / b) * b, a);
+                }
+
+                #[test]
+                fn no_zero_divisors(a in elem(), b in elem()) {
+                    prop_assume!(!a.is_zero() && !b.is_zero());
+                    prop_assert!(!(a * b).is_zero());
+                }
+
+                #[test]
+                fn pow_adds_exponents(a in elem(), e1 in 0u64..64, e2 in 0u64..64) {
+                    prop_assume!(!a.is_zero());
+                    prop_assert_eq!(a.gf_pow(e1) * a.gf_pow(e2), a.gf_pow(e1 + e2));
+                }
+
+                #[test]
+                fn index_roundtrip(a in elem()) {
+                    prop_assert_eq!(<$ty>::from_index(a.index()), a);
+                }
+            }
+        }
+    };
+}
+
+field_axiom_tests!(gf16, Gf16);
+field_axiom_tests!(gf256, Gf256);
+field_axiom_tests!(gf64k, Gf64k);
+
+mod bulk_ops {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn axpy_matches_scalar_formula(
+            c in 0usize..256,
+            data in prop::collection::vec((0usize..256, 0usize..256), 0..64)
+        ) {
+            let c = Gf256::from_index(c);
+            let mut dst: Vec<Gf256> =
+                data.iter().map(|&(d, _)| Gf256::from_index(d)).collect();
+            let src: Vec<Gf256> =
+                data.iter().map(|&(_, s)| Gf256::from_index(s)).collect();
+            let expect: Vec<Gf256> = dst
+                .iter()
+                .zip(&src)
+                .map(|(&d, &s)| d + c * s)
+                .collect();
+            Gf256::axpy(&mut dst, c, &src);
+            prop_assert_eq!(dst, expect);
+        }
+
+        #[test]
+        fn scale_slice_matches_scalar_formula(
+            c in 0usize..256,
+            data in prop::collection::vec(0usize..256, 0..64)
+        ) {
+            let c = Gf256::from_index(c);
+            let mut dst: Vec<Gf256> =
+                data.iter().map(|&d| Gf256::from_index(d)).collect();
+            let expect: Vec<Gf256> = dst.iter().map(|&d| d * c).collect();
+            Gf256::scale_slice(&mut dst, c);
+            prop_assert_eq!(dst, expect);
+        }
+
+        #[test]
+        fn axpy_then_undo_restores(
+            c in 1usize..256,
+            data in prop::collection::vec((0usize..256, 0usize..256), 0..64)
+        ) {
+            // In characteristic 2, applying the same axpy twice is a no-op.
+            let c = Gf256::from_index(c);
+            let original: Vec<Gf256> =
+                data.iter().map(|&(d, _)| Gf256::from_index(d)).collect();
+            let src: Vec<Gf256> =
+                data.iter().map(|&(_, s)| Gf256::from_index(s)).collect();
+            let mut dst = original.clone();
+            Gf256::axpy(&mut dst, c, &src);
+            Gf256::axpy(&mut dst, c, &src);
+            prop_assert_eq!(dst, original);
+        }
+    }
+}

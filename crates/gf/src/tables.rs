@@ -1,0 +1,233 @@
+//! Discrete log/antilog table construction for `GF(2^w)`.
+//!
+//! Each field is constructed as `GF(2)[x] / (P)` where `P` is a primitive
+//! polynomial, so `x` generates the multiplicative group of order `q − 1`.
+//! The tables give `exp[i] = x^i` and `log[v] = i` with `exp[log[v]] = v`;
+//! the `exp` table is doubled in length so `exp[log a + log b]` needs no
+//! modular reduction.
+
+/// Log/antilog tables for one binary-extension field.
+#[derive(Debug)]
+pub struct GfTables {
+    /// `exp[i] = x^i` for `0 <= i < 2(q-1)` (doubled to skip the mod).
+    pub exp: Vec<u32>,
+    /// `log[v]` for `1 <= v < q`; `log[0]` is unused and set to `u32::MAX`.
+    pub log: Vec<u32>,
+    /// Field size `q = 2^w`.
+    pub order: usize,
+}
+
+impl GfTables {
+    /// Builds the tables for `GF(2^bits)` reduced by the primitive
+    /// polynomial `poly` (given with its leading `x^bits` term included,
+    /// e.g. `0x11D` for the GF(2⁸) polynomial `x⁸+x⁴+x³+x²+1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly` is not primitive for the field (i.e. if `x` fails
+    /// to generate all `q − 1` nonzero elements), which would silently
+    /// corrupt all subsequent arithmetic.
+    pub fn build(bits: u32, poly: u32) -> Self {
+        assert!((2..=16).contains(&bits), "supported widths are 2..=16");
+        let order = 1usize << bits;
+        let group = order - 1;
+        let mut exp = vec![0u32; 2 * group];
+        let mut log = vec![u32::MAX; order];
+
+        let mut val: u32 = 1;
+        for (i, slot) in exp.iter_mut().take(group).enumerate() {
+            *slot = val;
+            assert!(
+                log[val as usize] == u32::MAX,
+                "polynomial {poly:#x} is not primitive for GF(2^{bits}): \
+                 x^{i} revisits {val:#x}"
+            );
+            log[val as usize] = i as u32;
+            val <<= 1;
+            if val & (order as u32) != 0 {
+                val ^= poly;
+            }
+        }
+        assert!(val == 1, "x^(q-1) != 1; {poly:#x} does not define a field");
+        for i in 0..group {
+            exp[group + i] = exp[i];
+        }
+        GfTables { exp, log, order }
+    }
+
+    /// Multiplies two field elements via the log tables.
+    #[inline]
+    pub fn mul(&self, a: u32, b: u32) -> u32 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        self.exp[(self.log[a as usize] + self.log[b as usize]) as usize]
+    }
+
+    /// Multiplicative inverse of `a`, or `None` when `a == 0`.
+    #[inline]
+    pub fn inv(&self, a: u32) -> Option<u32> {
+        if a == 0 {
+            return None;
+        }
+        let group = (self.order - 1) as u32;
+        Some(self.exp[(group - self.log[a as usize]) as usize])
+    }
+
+    /// `a / b`, or `None` when `b == 0`. `0 / b == 0` for nonzero `b`.
+    #[inline]
+    pub fn div(&self, a: u32, b: u32) -> Option<u32> {
+        let binv = self.inv(b)?;
+        Some(self.mul(a, binv))
+    }
+
+    /// `a^e` by exponent reduction in the cyclic group.
+    #[inline]
+    pub fn pow(&self, a: u32, e: u64) -> u32 {
+        if a == 0 {
+            // 0^0 == 1 by the usual empty-product convention.
+            return u32::from(e == 0);
+        }
+        let group = (self.order - 1) as u64;
+        let idx = (u64::from(self.log[a as usize]) * (e % group)) % group;
+        self.exp[idx as usize]
+    }
+}
+
+/// Primitive polynomial `x⁴ + x + 1` for GF(2⁴).
+pub const POLY_GF16: u32 = 0x13;
+/// Primitive polynomial `x⁸ + x⁴ + x³ + x² + 1` for GF(2⁸).
+pub const POLY_GF256: u32 = 0x11D;
+/// Primitive polynomial `x¹⁶ + x¹² + x³ + x + 1` for GF(2¹⁶).
+pub const POLY_GF64K: u32 = 0x1100B;
+
+/// Full 256×256 multiplication table for GF(2⁸).
+///
+/// 64 KiB; fits comfortably in L2 and turns the hot `axpy` loop of
+/// Gauss–Jordan elimination into one indexed load and one XOR per byte.
+#[derive(Debug)]
+pub struct Mul256Table {
+    rows: Vec<[u8; 256]>,
+}
+
+impl Mul256Table {
+    /// Builds the table from the GF(2⁸) log tables.
+    pub fn build(tables: &GfTables) -> Self {
+        assert_eq!(tables.order, 256);
+        let mut rows = vec![[0u8; 256]; 256];
+        for (a, row) in rows.iter_mut().enumerate() {
+            for (b, slot) in row.iter_mut().enumerate() {
+                *slot = tables.mul(a as u32, b as u32) as u8;
+            }
+        }
+        Mul256Table { rows }
+    }
+
+    /// The 256-entry row of products `c * 0 ..= c * 255`.
+    #[inline]
+    pub fn row(&self, c: u8) -> &[u8; 256] {
+        &self.rows[c as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf256_tables_cover_all_nonzero_elements() {
+        let t = GfTables::build(8, POLY_GF256);
+        let mut seen = vec![false; 256];
+        for i in 0..255 {
+            let v = t.exp[i] as usize;
+            assert!(!seen[v], "exp repeats before wrapping");
+            seen[v] = true;
+        }
+        assert!(!seen[0], "zero never appears in the exp table");
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 255);
+    }
+
+    #[test]
+    fn gf16_and_gf64k_build() {
+        let t4 = GfTables::build(4, POLY_GF16);
+        assert_eq!(t4.order, 16);
+        let t16 = GfTables::build(16, POLY_GF64K);
+        assert_eq!(t16.order, 65536);
+        // Known value: in GF(16) with x^4+x+1, x^4 = x + 1 = 0b0011.
+        assert_eq!(t4.exp[4], 0b0011);
+    }
+
+    #[test]
+    #[should_panic(expected = "not primitive")]
+    fn non_primitive_polynomial_is_rejected() {
+        // x^4 + x^3 + x^2 + x + 1 is irreducible over GF(2) but NOT
+        // primitive: x has order 5, so the exp walk revisits 1 early.
+        GfTables::build(4, 0x1F);
+    }
+
+    #[test]
+    fn mul_matches_schoolbook_carryless_multiply() {
+        // Verify table-driven multiplication against bitwise polynomial
+        // multiplication + reduction for GF(2^8).
+        fn slow_mul(mut a: u32, mut b: u32) -> u32 {
+            let mut acc = 0u32;
+            while b != 0 {
+                if b & 1 != 0 {
+                    acc ^= a;
+                }
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= POLY_GF256;
+                }
+                b >>= 1;
+            }
+            acc
+        }
+        let t = GfTables::build(8, POLY_GF256);
+        for a in 0..256u32 {
+            for b in (0..256u32).step_by(7) {
+                assert_eq!(t.mul(a, b), slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inv_and_div_roundtrip() {
+        let t = GfTables::build(8, POLY_GF256);
+        assert_eq!(t.inv(0), None);
+        assert_eq!(t.div(5, 0), None);
+        for a in 1..256u32 {
+            let inv = t.inv(a).unwrap();
+            assert_eq!(t.mul(a, inv), 1, "a={a}");
+            assert_eq!(t.div(a, a), Some(1));
+        }
+        assert_eq!(t.div(0, 17), Some(0));
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let t = GfTables::build(8, POLY_GF256);
+        for a in [0u32, 1, 2, 3, 91, 255] {
+            let mut acc = 1u32;
+            for e in 0..20u64 {
+                assert_eq!(t.pow(a, e), acc, "a={a} e={e}");
+                acc = t.mul(acc, a);
+            }
+        }
+        // Fermat: a^(q-1) == 1 for a != 0.
+        assert_eq!(t.pow(123, 255), 1);
+        assert_eq!(t.pow(0, 0), 1);
+        assert_eq!(t.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn mul256_table_agrees_with_log_tables() {
+        let t = GfTables::build(8, POLY_GF256);
+        let m = Mul256Table::build(&t);
+        for a in (0..256usize).step_by(11) {
+            for b in 0..256usize {
+                assert_eq!(u32::from(m.row(a as u8)[b]), t.mul(a as u32, b as u32));
+            }
+        }
+    }
+}

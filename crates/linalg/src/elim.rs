@@ -1,0 +1,298 @@
+//! Batch Gaussian and Gauss–Jordan elimination.
+//!
+//! These are the classical whole-matrix algorithms. The paper's decoder
+//! processes blocks *incrementally* (see [`crate::ProgressiveRref`]); the
+//! batch path here serves as the independent reference implementation the
+//! progressive decoder is validated against, and provides rank, inverse
+//! and solve utilities used across the workspace.
+
+use prlc_gf::GfElem;
+
+use crate::matrix::Matrix;
+
+/// The result of reducing a matrix to reduced row-echelon form.
+#[derive(Clone)]
+pub struct RrefResult<F> {
+    /// The matrix in reduced row-echelon form.
+    pub matrix: Matrix<F>,
+    /// The rank (number of pivots).
+    pub rank: usize,
+    /// The pivot column of each pivot row, in row order (strictly
+    /// increasing).
+    pub pivot_cols: Vec<usize>,
+}
+
+impl<F: GfElem> std::fmt::Debug for RrefResult<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RrefResult")
+            .field("matrix", &self.matrix)
+            .field("rank", &self.rank)
+            .field("pivot_cols", &self.pivot_cols)
+            .finish()
+    }
+}
+
+/// Reduces `m` to reduced row-echelon form with Gauss–Jordan elimination.
+///
+/// This is the transformation of Fig. 2(c) in the paper: every pivot is 1,
+/// every pivot column is zero outside its pivot row, zero rows sink to the
+/// bottom.
+pub fn rref<F: GfElem>(m: &Matrix<F>) -> RrefResult<F> {
+    let mut a = m.clone();
+    let (rows, cols) = (a.rows(), a.cols());
+    let mut pivot_cols = Vec::new();
+    let mut pivot_row = 0usize;
+
+    for col in 0..cols {
+        if pivot_row == rows {
+            break;
+        }
+        // Find a row at or below pivot_row with a nonzero entry in col.
+        let Some(src) = (pivot_row..rows).find(|&r| !a[(r, col)].is_zero()) else {
+            continue;
+        };
+        a.swap_rows(pivot_row, src);
+
+        // Normalise the pivot to 1.
+        let inv = a[(pivot_row, col)]
+            .gf_inv()
+            .expect("pivot is nonzero by construction");
+        F::scale_slice(&mut a.row_mut(pivot_row)[col..], inv);
+
+        // Eliminate the pivot column from every other row (Gauss–Jordan:
+        // above *and* below, unlike plain Gaussian elimination).
+        let prow: Vec<F> = a.row(pivot_row)[col..].to_vec();
+        for r in 0..rows {
+            if r == pivot_row {
+                continue;
+            }
+            let factor = a[(r, col)];
+            if factor.is_zero() {
+                continue;
+            }
+            F::axpy(&mut a.row_mut(r)[col..], factor, &prow);
+        }
+
+        pivot_cols.push(col);
+        pivot_row += 1;
+    }
+
+    RrefResult {
+        rank: pivot_cols.len(),
+        matrix: a,
+        pivot_cols,
+    }
+}
+
+/// The rank of `m`.
+pub fn rank<F: GfElem>(m: &Matrix<F>) -> usize {
+    rref(m).rank
+}
+
+/// Inverts a square matrix, or returns `None` if it is singular.
+///
+/// # Panics
+///
+/// Panics if `m` is not square.
+pub fn invert<F: GfElem>(m: &Matrix<F>) -> Option<Matrix<F>> {
+    assert!(m.is_square(), "invert requires a square matrix");
+    let n = m.rows();
+    let aug = m.augment(&Matrix::identity(n));
+    let red = rref(&aug);
+    if red.rank < n || red.pivot_cols.iter().take(n).copied().ne(0..n) {
+        return None;
+    }
+    let mut inv = Matrix::zero(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            inv[(r, c)] = red.matrix[(r, n + c)];
+        }
+    }
+    Some(inv)
+}
+
+/// The outcome of solving the linear system `A x = b`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveOutcome<F> {
+    /// A unique solution exists.
+    Unique(Vec<F>),
+    /// The system is consistent but has free variables (more unknowns
+    /// than independent equations) — exactly the situation where the
+    /// paper's *partial* decoding applies.
+    Underdetermined,
+    /// No solution exists (inconsistent equations).
+    Inconsistent,
+}
+
+/// Solves `A x = b`.
+///
+/// # Panics
+///
+/// Panics if `b.len() != a.rows()`.
+pub fn solve<F: GfElem>(a: &Matrix<F>, b: &[F]) -> SolveOutcome<F> {
+    assert_eq!(b.len(), a.rows(), "solve: rhs length mismatch");
+    let rhs = Matrix::from_rows(b.iter().map(|&v| vec![v]).collect());
+    let n = a.cols();
+    let red = rref(&a.augment(&rhs));
+
+    // A pivot in the augmented column means 0 = 1: inconsistent.
+    if red.pivot_cols.iter().any(|&c| c == n) {
+        return SolveOutcome::Inconsistent;
+    }
+    if red.rank < n {
+        return SolveOutcome::Underdetermined;
+    }
+    // rank == n and all pivots are in the coefficient part, so rows
+    // 0..n of the RREF read x_i = rhs_i directly.
+    let x = (0..n).map(|r| red.matrix[(r, n)]).collect();
+    SolveOutcome::Unique(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prlc_gf::Gf256;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn g(v: usize) -> Gf256 {
+        Gf256::from_index(v)
+    }
+
+    #[test]
+    fn rref_produces_rref() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..20 {
+            let m = Matrix::<Gf256>::random(5, 7, &mut rng);
+            let r = rref(&m);
+            assert!(r.matrix.is_rref(), "{:?}", r.matrix);
+            assert!(r.rank <= 5);
+            // Pivot columns strictly increase.
+            assert!(r.pivot_cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn rref_of_identity_is_identity() {
+        let i = Matrix::<Gf256>::identity(4);
+        let r = rref(&i);
+        assert!(r.matrix.is_identity());
+        assert_eq!(r.rank, 4);
+        assert_eq!(r.pivot_cols, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rank_of_zero_matrix_is_zero() {
+        let z = Matrix::<Gf256>::zero(3, 3);
+        assert_eq!(rank(&z), 0);
+    }
+
+    #[test]
+    fn rank_of_duplicated_rows() {
+        let m = Matrix::from_rows(vec![
+            vec![g(1), g(2), g(3)],
+            vec![g(1), g(2), g(3)],
+            vec![g(5), g(6), g(7)],
+        ]);
+        assert_eq!(rank(&m), 2);
+    }
+
+    #[test]
+    fn invert_roundtrip_random() {
+        // Random GF(256) square matrices are nonsingular w.p. ~0.996;
+        // retry until we find one, then check A * A^-1 == I.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut inverted = 0;
+        while inverted < 10 {
+            let m = Matrix::<Gf256>::random(6, 6, &mut rng);
+            if let Some(inv) = invert(&m) {
+                assert!((&m * &inv).is_identity());
+                assert!((&inv * &m).is_identity());
+                inverted += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn invert_singular_returns_none() {
+        let m = Matrix::from_rows(vec![
+            vec![g(1), g(2)],
+            vec![g(1), g(2)], // duplicate row
+        ]);
+        assert_eq!(invert(&m), None);
+        let z = Matrix::<Gf256>::zero(2, 2);
+        assert_eq!(invert(&z), None);
+    }
+
+    #[test]
+    fn rref_of_paper_fig1_slc_example() {
+        // Fig. 1(b): SLC with level 1 = {x1}, level 2 = {x2, x3}.
+        // A level-1 row [b, 0, 0] decodes x1 on its own.
+        let m = Matrix::from_rows(vec![vec![g(0x42), g(0), g(0)]]);
+        let r = rref(&m);
+        assert_eq!(r.rank, 1);
+        assert_eq!(r.pivot_cols, vec![0]);
+        assert_eq!(r.matrix[(0, 0)], Gf256::ONE);
+    }
+
+    #[test]
+    fn solve_unique_system() {
+        let mut rng = StdRng::seed_from_u64(12);
+        loop {
+            let a = Matrix::<Gf256>::random(5, 5, &mut rng);
+            if invert(&a).is_none() {
+                continue;
+            }
+            let x: Vec<Gf256> = (0..5).map(|_| Gf256::random(&mut rng)).collect();
+            let b = a.mul_vec(&x);
+            assert_eq!(solve(&a, &b), SolveOutcome::Unique(x));
+            break;
+        }
+    }
+
+    #[test]
+    fn solve_overdetermined_consistent() {
+        // 3 equations, 2 unknowns, consistent.
+        let a = Matrix::from_rows(vec![vec![g(1), g(0)], vec![g(0), g(1)], vec![g(1), g(1)]]);
+        let x = vec![g(7), g(9)];
+        let b = a.mul_vec(&x);
+        assert_eq!(solve(&a, &b), SolveOutcome::Unique(x));
+    }
+
+    #[test]
+    fn solve_underdetermined() {
+        let a = Matrix::from_rows(vec![vec![g(1), g(2), g(3)]]);
+        let b = vec![g(5)];
+        assert_eq!(solve(&a, &b), SolveOutcome::Underdetermined);
+    }
+
+    #[test]
+    fn solve_inconsistent() {
+        let a = Matrix::from_rows(vec![vec![g(1), g(2)], vec![g(1), g(2)]]);
+        // Same lhs, different rhs -> inconsistent.
+        let b = vec![g(5), g(6)];
+        assert_eq!(solve(&a, &b), SolveOutcome::Inconsistent);
+    }
+
+    #[test]
+    fn rank_is_invariant_under_row_shuffle() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let m = Matrix::<Gf256>::random(6, 4, &mut rng);
+        let mut shuffled = m.clone();
+        shuffled.swap_rows(0, 5);
+        shuffled.swap_rows(2, 3);
+        assert_eq!(rank(&m), rank(&shuffled));
+    }
+
+    #[test]
+    fn rref_identical_for_row_permutations() {
+        // Sec. 3.2: "the RREFs of two matrices are identical, if they
+        // differ only in row orders".
+        let mut rng = StdRng::seed_from_u64(14);
+        let m = Matrix::<Gf256>::random(5, 5, &mut rng);
+        let mut p = m.clone();
+        p.swap_rows(0, 4);
+        p.swap_rows(1, 2);
+        assert_eq!(rref(&m).matrix, rref(&p).matrix);
+    }
+}

@@ -1,0 +1,87 @@
+//! Row payloads that mirror elimination operations.
+//!
+//! Gauss–Jordan elimination on a decoding matrix must perform "identical
+//! operations ... on the data blocks as well" (paper, Sec. 3.2). A
+//! [`RowPayload`] is whatever travels alongside a coefficient row — the
+//! coded data block during real decoding, or nothing at all (`()`) when an
+//! experiment only needs decodability, which roughly halves the cost of
+//! the large decoding-curve simulations.
+
+use prlc_gf::GfElem;
+
+/// Data carried alongside a coefficient row through elimination.
+///
+/// Implementations must mirror the two row operations of Gauss–Jordan
+/// elimination: scaling a row, and adding a multiple of another row.
+pub trait RowPayload<F: GfElem> {
+    /// Mirrors `row *= c`.
+    fn payload_scale(&mut self, c: F);
+
+    /// Mirrors `row += c * other`.
+    fn payload_axpy(&mut self, other: &Self, c: F);
+}
+
+/// The empty payload: elimination on coefficients only.
+impl<F: GfElem> RowPayload<F> for () {
+    #[inline]
+    fn payload_scale(&mut self, _c: F) {}
+
+    #[inline]
+    fn payload_axpy(&mut self, _other: &Self, _c: F) {}
+}
+
+/// A coded data block: a vector of field symbols.
+///
+/// # Panics
+///
+/// `payload_axpy` panics if the two blocks have different lengths; all
+/// blocks in one decoding session must share the block size.
+impl<F: GfElem> RowPayload<F> for Vec<F> {
+    #[inline]
+    fn payload_scale(&mut self, c: F) {
+        F::scale_slice(self, c);
+    }
+
+    #[inline]
+    fn payload_axpy(&mut self, other: &Self, c: F) {
+        F::axpy(self, c, other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prlc_gf::Gf256;
+
+    #[test]
+    fn unit_payload_is_noop() {
+        let mut p = ();
+        p.payload_scale(Gf256::from_index(3));
+        p.payload_axpy(&(), Gf256::from_index(5));
+    }
+
+    #[test]
+    fn vec_payload_mirrors_slice_ops() {
+        let mut a = vec![Gf256::from_index(1), Gf256::from_index(2)];
+        let b = vec![Gf256::from_index(3), Gf256::from_index(4)];
+        let c = Gf256::from_index(7);
+        a.payload_axpy(&b, c);
+        assert_eq!(
+            a,
+            vec![
+                Gf256::from_index(1) + c * Gf256::from_index(3),
+                Gf256::from_index(2) + c * Gf256::from_index(4),
+            ]
+        );
+        a.payload_scale(Gf256::ZERO);
+        assert!(a.iter().all(|x| x.is_zero()));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn vec_payload_length_mismatch_panics() {
+        let mut a = vec![Gf256::ONE];
+        let b = vec![Gf256::ONE, Gf256::ONE];
+        a.payload_axpy(&b, Gf256::ONE);
+    }
+}

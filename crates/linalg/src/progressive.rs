@@ -1,0 +1,540 @@
+//! The progressive Gauss–Jordan (RREF) partial decoder.
+//!
+//! Implements the decoding algorithm of Sec. 3.2 of the paper: "As each
+//! new coded block is accumulated, the coding coefficients of the coded
+//! block are appended to the current decoding matrix. A pass of
+//! Gauss–Jordan elimination is performed on the existing decoding matrix —
+//! with identical operations performed on the data blocks as well — such
+//! that the matrix is reduced to RREF."
+//!
+//! The machine maintains the invariant that its stored rows are always in
+//! reduced row-echelon form (up to row order). An unknown `x_c` is
+//! *decoded* exactly when the pivot row owning column `c` has a single
+//! nonzero coefficient: in RREF a pivot row's off-pivot nonzeros can only
+//! sit in non-pivot (free) columns, so any such entry means `x_c` still
+//! depends on an undetermined variable.
+//!
+//! # Performance
+//!
+//! The decoding-curve experiments of Sec. 5 run this machine with
+//! `width = 1000` for thousands of insertions per run, so the hot paths
+//! are engineered:
+//!
+//! * every row tracks its *support* (exclusive upper bound of its nonzero
+//!   region — for PLC a level-`k` row has support `b_k`), and all row
+//!   operations touch only `pivot..support`;
+//! * the nonzero count per row is maintained incrementally so decoded
+//!   queries are O(1);
+//! * bulk operations route through [`GfElem::axpy`], which GF(2⁸)
+//!   specialises to a 64 KiB product-table loop.
+
+use prlc_gf::GfElem;
+
+use crate::matrix::Matrix;
+use crate::payload::RowPayload;
+
+/// Outcome of inserting one coded block into the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsertOutcome {
+    /// The block increased the rank; its pivot landed in this column.
+    Innovative {
+        /// The column of the new pivot.
+        pivot: usize,
+    },
+    /// The block was a linear combination of already-held blocks and was
+    /// discarded.
+    Redundant,
+}
+
+impl InsertOutcome {
+    /// Whether the insertion increased the decoder's rank.
+    pub fn is_innovative(self) -> bool {
+        matches!(self, InsertOutcome::Innovative { .. })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Row<F, P> {
+    coeffs: Vec<F>,
+    payload: P,
+    pivot: usize,
+    /// Exclusive upper bound of the nonzero region (`coeffs[support..]`
+    /// are all zero).
+    support: usize,
+    /// Number of nonzero coefficients, maintained incrementally.
+    nonzeros: usize,
+}
+
+/// An incremental Gauss–Jordan elimination machine over `width` unknowns.
+///
+/// `P` is the payload mirrored through every row operation: use
+/// `Vec<F>` to decode real data blocks, or `()` to track decodability
+/// only. See [`RowPayload`].
+#[derive(Debug, Clone)]
+pub struct ProgressiveRref<F, P = ()> {
+    width: usize,
+    rows: Vec<Row<F, P>>,
+    /// Column -> index into `rows` of the pivot row owning that column.
+    pivot_of_col: Vec<Option<usize>>,
+    /// Columns whose unknown is fully determined.
+    solved: Vec<bool>,
+    solved_count: usize,
+    /// First column not yet solved (the decoded prefix length). Monotone:
+    /// solved rows can never become unsolved.
+    prefix: usize,
+    inserted: usize,
+}
+
+impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
+    /// Creates a decoder for a system with `width` unknowns.
+    pub fn new(width: usize) -> Self {
+        ProgressiveRref {
+            width,
+            rows: Vec::new(),
+            pivot_of_col: vec![None; width],
+            solved: vec![false; width],
+            solved_count: 0,
+            prefix: 0,
+            inserted: 0,
+        }
+    }
+
+    /// The number of unknowns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The current rank (number of innovative blocks held).
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total number of blocks offered via [`insert`](Self::insert),
+    /// including redundant ones.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Number of unknowns currently determined (not necessarily a prefix).
+    pub fn decoded_count(&self) -> usize {
+        self.solved_count
+    }
+
+    /// Length of the longest decoded *prefix* of unknowns: the largest
+    /// `j` such that `x_0 … x_{j-1}` are all determined.
+    ///
+    /// Under PLC, mapping this through the level boundaries `b_k` yields
+    /// the number of decoded priority levels.
+    pub fn decoded_prefix(&self) -> usize {
+        self.prefix
+    }
+
+    /// Whether unknown `col` is determined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= width`.
+    pub fn is_decoded(&self, col: usize) -> bool {
+        assert!(col < self.width, "column {col} out of range");
+        self.solved[col]
+    }
+
+    /// Whether all unknowns are determined.
+    pub fn is_complete(&self) -> bool {
+        self.solved_count == self.width
+    }
+
+    /// The recovered payload for unknown `col`, if it is determined.
+    ///
+    /// When `P = Vec<F>`, this is the decoded source block itself (the
+    /// pivot row has been normalised, so the payload *is* the solution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= width`.
+    pub fn recovered(&self, col: usize) -> Option<&P> {
+        assert!(col < self.width, "column {col} out of range");
+        if !self.solved[col] {
+            return None;
+        }
+        let r = self.pivot_of_col[col].expect("solved column has a pivot row");
+        Some(&self.rows[r].payload)
+    }
+
+    /// Inserts one coded block: `coeffs` are its coding coefficients over
+    /// the `width` unknowns, `payload` the data mirrored through the
+    /// elimination.
+    ///
+    /// Runs one incremental pass of Gauss–Jordan elimination, after which
+    /// the held rows are again in RREF (up to row order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != width`.
+    pub fn insert(&mut self, mut coeffs: Vec<F>, mut payload: P) -> InsertOutcome {
+        assert_eq!(coeffs.len(), self.width, "coefficient width mismatch");
+        self.inserted += 1;
+
+        let mut support = trailing_support(&coeffs);
+
+        // Forward reduction: eliminate every coefficient that collides
+        // with an existing pivot, across the *whole* support — entries in
+        // pivot columns to the right of the eventual new pivot must also
+        // be cleared, or the stored rows would leave RREF. Scanning left
+        // to right is sound because a pivot row is zero left of its pivot,
+        // so subtracting it never disturbs columns already passed.
+        let mut col = 0usize;
+        let mut pivot_col = None;
+        while col < support {
+            if coeffs[col].is_zero() {
+                col += 1;
+                continue;
+            }
+            match self.pivot_of_col[col] {
+                Some(r) => {
+                    let prow = &self.rows[r];
+                    let factor = coeffs[col];
+                    let end = support.max(prow.support);
+                    F::axpy(&mut coeffs[col..end], factor, &prow.coeffs[col..end]);
+                    payload.payload_axpy(&prow.payload, factor);
+                    support = end;
+                    debug_assert!(coeffs[col].is_zero());
+                }
+                None => {
+                    if pivot_col.is_none() {
+                        pivot_col = Some(col);
+                    }
+                }
+            }
+            col += 1;
+        }
+
+        let Some(pc) = pivot_col else {
+            return InsertOutcome::Redundant;
+        };
+
+        // Normalise the pivot to 1.
+        let inv = coeffs[pc].gf_inv().expect("pivot entry is nonzero");
+        F::scale_slice(&mut coeffs[pc..support], inv);
+        payload.payload_scale(inv);
+
+        // Back-eliminate column `pc` from every existing row that has a
+        // nonzero entry there, restoring the RREF invariant.
+        let new_idx = self.rows.len();
+        for (ri, row) in self.rows.iter_mut().enumerate() {
+            let factor = row.coeffs[pc];
+            if factor.is_zero() {
+                continue;
+            }
+            let end = support.max(row.support);
+            let region = &mut row.coeffs[pc..end];
+            let before = count_nonzeros(region);
+            F::axpy(region, factor, &coeffs[pc..end]);
+            let after = count_nonzeros(region);
+            row.payload.payload_axpy(&payload, factor);
+            row.support = end;
+            row.nonzeros = row.nonzeros - before + after;
+            debug_assert!(row.nonzeros >= 1);
+            if row.nonzeros == 1 && !self.solved[row.pivot] {
+                self.solved[row.pivot] = true;
+                self.solved_count += 1;
+            }
+            debug_assert_ne!(ri, new_idx);
+        }
+
+        let nonzeros = count_nonzeros(&coeffs[pc..support]);
+        debug_assert!(nonzeros >= 1);
+        if nonzeros == 1 {
+            self.solved[pc] = true;
+            self.solved_count += 1;
+        }
+        self.pivot_of_col[pc] = Some(new_idx);
+        self.rows.push(Row {
+            coeffs,
+            payload,
+            pivot: pc,
+            support,
+            nonzeros,
+        });
+
+        // Advance the decoded-prefix pointer (monotone: a solved column
+        // never becomes unsolved, because a solved pivot row has no entry
+        // in any later pivot column to be back-eliminated).
+        while self.prefix < self.width && self.solved[self.prefix] {
+            self.prefix += 1;
+        }
+
+        InsertOutcome::Innovative { pivot: pc }
+    }
+
+    /// Snapshot of the held coefficient rows as a matrix (rows in pivot
+    /// order, i.e. sorted by pivot column). Intended for inspection and
+    /// tests; allocates.
+    ///
+    /// Returns a `rank × width` matrix, or `None` when no rows are held.
+    pub fn coefficient_matrix(&self) -> Option<Matrix<F>> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..self.rows.len()).collect();
+        order.sort_by_key(|&i| self.rows[i].pivot);
+        Some(Matrix::from_rows(
+            order.iter().map(|&i| self.rows[i].coeffs.clone()).collect(),
+        ))
+    }
+
+    /// Iterates over the determined unknown indices in ascending order.
+    pub fn decoded_columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.solved
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i))
+    }
+}
+
+/// Exclusive upper bound of the nonzero region of `v`.
+fn trailing_support<F: GfElem>(v: &[F]) -> usize {
+    v.iter().rposition(|x| !x.is_zero()).map_or(0, |p| p + 1)
+}
+
+fn count_nonzeros<F: GfElem>(v: &[F]) -> usize {
+    v.iter().filter(|x| !x.is_zero()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prlc_gf::Gf256;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn g(v: usize) -> Gf256 {
+        Gf256::from_index(v)
+    }
+
+    fn rowv(vals: &[usize]) -> Vec<Gf256> {
+        vals.iter().map(|&v| g(v)).collect()
+    }
+
+    #[test]
+    fn empty_decoder_state() {
+        let d: ProgressiveRref<Gf256> = ProgressiveRref::new(5);
+        assert_eq!(d.width(), 5);
+        assert_eq!(d.rank(), 0);
+        assert_eq!(d.decoded_prefix(), 0);
+        assert_eq!(d.decoded_count(), 0);
+        assert!(!d.is_complete());
+        assert!(d.coefficient_matrix().is_none());
+    }
+
+    #[test]
+    fn zero_row_is_redundant() {
+        let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(3);
+        assert_eq!(d.insert(rowv(&[0, 0, 0]), ()), InsertOutcome::Redundant);
+        assert_eq!(d.rank(), 0);
+        assert_eq!(d.inserted(), 1);
+    }
+
+    #[test]
+    fn single_variable_row_decodes_immediately() {
+        let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(3);
+        let out = d.insert(rowv(&[9, 0, 0]), ());
+        assert_eq!(out, InsertOutcome::Innovative { pivot: 0 });
+        assert_eq!(d.decoded_prefix(), 1);
+        assert!(d.is_decoded(0));
+        assert!(!d.is_decoded(1));
+    }
+
+    #[test]
+    fn duplicate_row_is_redundant() {
+        let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(3);
+        assert!(d.insert(rowv(&[1, 2, 3]), ()).is_innovative());
+        assert_eq!(d.insert(rowv(&[1, 2, 3]), ()), InsertOutcome::Redundant);
+        // A scalar multiple is also redundant.
+        let mut scaled = rowv(&[1, 2, 3]);
+        Gf256::scale_slice(&mut scaled, g(77));
+        assert_eq!(d.insert(scaled, ()), InsertOutcome::Redundant);
+        assert_eq!(d.rank(), 1);
+    }
+
+    #[test]
+    fn paper_fig2_partial_decode() {
+        // Fig. 2: 5 rows over 6 unknowns; after sorting, the top-left 3x3
+        // block is invertible with zeros to its right, so exactly the
+        // first 3 unknowns decode from 5 coded blocks. We replicate the
+        // *structure* (values differ; the figure's entries are symbolic):
+        // rows 1-2 touch x1..x3 only; row 0 touches x1 only; rows 3-4
+        // touch all six.
+        let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(6);
+        d.insert(rowv(&[5, 0, 0, 0, 0, 0]), ());
+        d.insert(rowv(&[1, 7, 2, 0, 0, 0]), ());
+        d.insert(rowv(&[3, 1, 9, 0, 0, 0]), ());
+        d.insert(rowv(&[4, 2, 8, 1, 5, 7]), ());
+        d.insert(rowv(&[6, 3, 1, 2, 9, 4]), ());
+        assert_eq!(d.rank(), 5);
+        assert_eq!(d.decoded_prefix(), 3);
+        assert_eq!(d.decoded_count(), 3);
+        assert!(!d.is_decoded(3));
+        // The held rows are a valid RREF.
+        assert!(d.coefficient_matrix().unwrap().is_rref());
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter_for_decodability() {
+        let rows = [
+            rowv(&[4, 2, 8, 1, 5, 7]),
+            rowv(&[5, 0, 0, 0, 0, 0]),
+            rowv(&[6, 3, 1, 2, 9, 4]),
+            rowv(&[1, 7, 2, 0, 0, 0]),
+            rowv(&[3, 1, 9, 0, 0, 0]),
+        ];
+        let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(6);
+        for r in &rows {
+            d.insert(r.clone(), ());
+        }
+        assert_eq!(d.decoded_prefix(), 3);
+        assert_eq!(d.rank(), 5);
+    }
+
+    #[test]
+    fn full_decode_recovers_payload() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 8;
+        let blk = 4;
+        // Random source blocks.
+        let sources: Vec<Vec<Gf256>> = (0..n)
+            .map(|_| (0..blk).map(|_| Gf256::random(&mut rng)).collect())
+            .collect();
+        let mut d: ProgressiveRref<Gf256, Vec<Gf256>> = ProgressiveRref::new(n);
+        while !d.is_complete() {
+            let coeffs: Vec<Gf256> = (0..n).map(|_| Gf256::random(&mut rng)).collect();
+            let mut payload = vec![Gf256::ZERO; blk];
+            for (c, s) in coeffs.iter().zip(&sources) {
+                Gf256::axpy(&mut payload, *c, s);
+            }
+            d.insert(coeffs, payload);
+        }
+        for (i, s) in sources.iter().enumerate() {
+            assert_eq!(d.recovered(i).unwrap(), s, "block {i}");
+        }
+        assert_eq!(d.decoded_prefix(), n);
+    }
+
+    #[test]
+    fn partial_decode_recovers_prefix_payloads() {
+        // PLC-shaped rows: supports are prefixes. With enough level-1
+        // rows the first blocks decode even though later ones cannot.
+        let mut rng = StdRng::seed_from_u64(22);
+        let n = 6;
+        let sources: Vec<Vec<Gf256>> = (0..n).map(|_| vec![Gf256::random(&mut rng)]).collect();
+        let mut d: ProgressiveRref<Gf256, Vec<Gf256>> = ProgressiveRref::new(n);
+        // Three rows over the first three unknowns only.
+        for _ in 0..3 {
+            let mut coeffs = vec![Gf256::ZERO; n];
+            for c in coeffs.iter_mut().take(3) {
+                *c = Gf256::random_nonzero(&mut rng);
+            }
+            let mut payload = vec![Gf256::ZERO];
+            for (c, s) in coeffs.iter().zip(&sources) {
+                Gf256::axpy(&mut payload, *c, s);
+            }
+            d.insert(coeffs, payload);
+        }
+        // With overwhelming probability three random 3-vectors over
+        // GF(256) are independent.
+        assert_eq!(d.decoded_prefix(), 3);
+        for i in 0..3 {
+            assert_eq!(d.recovered(i).unwrap(), &sources[i]);
+        }
+        assert!(d.recovered(4).is_none());
+    }
+
+    #[test]
+    fn rank_matches_batch_rref_on_random_inserts() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..20 {
+            let width = rng.gen_range(1..10);
+            let nrows = rng.gen_range(0..15);
+            let rows: Vec<Vec<Gf256>> = (0..nrows)
+                .map(|_| {
+                    (0..width)
+                        .map(|_| {
+                            // Sparse-ish rows exercise the support tracking.
+                            if rng.gen_bool(0.4) {
+                                Gf256::ZERO
+                            } else {
+                                Gf256::random(&mut rng)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(width);
+            for r in &rows {
+                d.insert(r.clone(), ());
+            }
+            if nrows > 0 {
+                let m = Matrix::from_rows(rows);
+                assert_eq!(d.rank(), crate::elim::rank(&m));
+                if let Some(cm) = d.coefficient_matrix() {
+                    assert!(cm.is_rref());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_prefix_is_monotone() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let n = 12;
+        let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(n);
+        let mut last = 0;
+        for _ in 0..40 {
+            // PLC-style prefix-support rows.
+            let lvl = rng.gen_range(1..=n);
+            let mut coeffs = vec![Gf256::ZERO; n];
+            for c in coeffs.iter_mut().take(lvl) {
+                *c = Gf256::random(&mut rng);
+            }
+            d.insert(coeffs, ());
+            let p = d.decoded_prefix();
+            assert!(p >= last, "prefix regressed: {last} -> {p}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn decoded_columns_iterates_solved() {
+        let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(4);
+        d.insert(rowv(&[0, 0, 3, 0]), ());
+        d.insert(rowv(&[7, 0, 0, 0]), ());
+        let cols: Vec<usize> = d.decoded_columns().collect();
+        assert_eq!(cols, vec![0, 2]);
+        assert_eq!(d.decoded_prefix(), 1);
+        assert_eq!(d.decoded_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn insert_wrong_width_panics() {
+        let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(3);
+        d.insert(rowv(&[1, 2]), ());
+    }
+
+    #[test]
+    fn complete_after_width_innovative_rows() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let n = 10;
+        let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(n);
+        let mut innovative = 0;
+        while innovative < n {
+            let coeffs: Vec<Gf256> = (0..n).map(|_| Gf256::random(&mut rng)).collect();
+            if d.insert(coeffs, ()).is_innovative() {
+                innovative += 1;
+            }
+        }
+        assert!(d.is_complete());
+        assert_eq!(d.decoded_prefix(), n);
+        assert!(d.coefficient_matrix().unwrap().is_identity());
+    }
+}

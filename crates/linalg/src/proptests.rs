@@ -1,0 +1,170 @@
+//! Property tests cross-validating the progressive decoder against the
+//! batch Gauss–Jordan reference implementation.
+
+use proptest::prelude::*;
+
+use prlc_gf::{Gf16, Gf256, GfElem};
+
+use crate::elim;
+use crate::matrix::Matrix;
+use crate::progressive::ProgressiveRref;
+
+/// Strategy: a list of rows of the given width with entries biased toward
+/// zero (sparse rows exercise support tracking and pivot placement).
+fn rows_strategy(width: usize, max_rows: usize) -> impl Strategy<Value = Vec<Vec<Gf256>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop_oneof![
+                3 => Just(0usize),
+                2 => 0usize..256,
+            ],
+            width,
+        ),
+        0..=max_rows,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|r| r.into_iter().map(Gf256::from_index).collect())
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn progressive_rank_equals_batch_rank(
+        rows in rows_strategy(8, 16)
+    ) {
+        let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(8);
+        for r in &rows {
+            d.insert(r.clone(), ());
+        }
+        if rows.is_empty() {
+            prop_assert_eq!(d.rank(), 0);
+        } else {
+            let m = Matrix::from_rows(rows);
+            prop_assert_eq!(d.rank(), elim::rank(&m));
+        }
+    }
+
+    #[test]
+    fn progressive_state_is_always_rref(
+        rows in rows_strategy(7, 12)
+    ) {
+        let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(7);
+        for r in &rows {
+            d.insert(r.clone(), ());
+            if let Some(m) = d.coefficient_matrix() {
+                prop_assert!(m.is_rref(), "not RREF after insert:\n{:?}", m);
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_columns_match_batch_rref_solvability(
+        rows in rows_strategy(6, 10)
+    ) {
+        // A column is decodable iff in the batch RREF its pivot row has a
+        // single nonzero entry. Cross-check against the incremental
+        // solved-flag bookkeeping.
+        prop_assume!(!rows.is_empty());
+        let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(6);
+        for r in &rows {
+            d.insert(r.clone(), ());
+        }
+        let red = elim::rref(&Matrix::from_rows(rows));
+        let mut batch_solved = vec![false; 6];
+        for (ri, &pc) in red.pivot_cols.iter().enumerate() {
+            let nz = red.matrix.row(ri).iter().filter(|v| !v.is_zero()).count();
+            if nz == 1 {
+                batch_solved[pc] = true;
+            }
+        }
+        for c in 0..6 {
+            prop_assert_eq!(
+                d.is_decoded(c),
+                batch_solved[c],
+                "column {} disagreement", c
+            );
+        }
+        let batch_prefix = batch_solved.iter().take_while(|&&s| s).count();
+        prop_assert_eq!(d.decoded_prefix(), batch_prefix);
+    }
+
+    #[test]
+    fn rank_never_exceeds_inserts_or_width(
+        rows in rows_strategy(5, 20)
+    ) {
+        let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(5);
+        for r in &rows {
+            d.insert(r.clone(), ());
+        }
+        prop_assert!(d.rank() <= 5);
+        prop_assert!(d.rank() <= rows.len());
+        prop_assert!(d.decoded_count() <= d.rank());
+        prop_assert!(d.decoded_prefix() <= d.decoded_count());
+    }
+
+    #[test]
+    fn payload_tracking_solves_the_system(
+        seed in 0u64..1000,
+        n in 2usize..8,
+    ) {
+        // Generate random full systems and verify payload recovery equals
+        // the true solution for every decoded column, even mid-decode.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sources: Vec<Vec<Gf256>> = (0..n)
+            .map(|_| vec![Gf256::random(&mut rng), Gf256::random(&mut rng)])
+            .collect();
+        let mut d: ProgressiveRref<Gf256, Vec<Gf256>> = ProgressiveRref::new(n);
+        for _ in 0..(2 * n) {
+            let coeffs: Vec<Gf256> = (0..n).map(|_| Gf256::random(&mut rng)).collect();
+            let mut payload = vec![Gf256::ZERO; 2];
+            for (c, s) in coeffs.iter().zip(&sources) {
+                Gf256::axpy(&mut payload, *c, s);
+            }
+            d.insert(coeffs, payload);
+            for c in 0..n {
+                if let Some(p) = d.recovered(c) {
+                    prop_assert_eq!(p, &sources[c], "column {}", c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rref_idempotent(rows in rows_strategy(6, 9)) {
+        prop_assume!(!rows.is_empty());
+        let m = Matrix::from_rows(rows);
+        let r1 = elim::rref(&m);
+        let r2 = elim::rref(&r1.matrix);
+        prop_assert_eq!(&r1.matrix, &r2.matrix);
+        prop_assert_eq!(r1.rank, r2.rank);
+    }
+
+    #[test]
+    fn solve_agrees_with_known_solution_gf16(
+        seed in 0u64..500,
+        n in 1usize..6,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Gf16>::random(n + 2, n, &mut rng);
+        let x: Vec<Gf16> = (0..n).map(|_| Gf16::random(&mut rng)).collect();
+        let b = a.mul_vec(&x);
+        match elim::solve(&a, &b) {
+            elim::SolveOutcome::Unique(got) => prop_assert_eq!(got, x),
+            elim::SolveOutcome::Underdetermined => {
+                prop_assert!(elim::rank(&a) < n);
+            }
+            elim::SolveOutcome::Inconsistent => {
+                // b was constructed in the column space; impossible.
+                prop_assert!(false, "consistent system reported inconsistent");
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The abstract geometric network (Sec. 2 of the paper).
+//!
+//! "Our protocol uses the characteristic of *geometric networks*, where
+//! each node is identified with a point in a geometric space" — a 1D DHT
+//! ID ring for P2P overlays, a 2D plane for sensor deployments. The
+//! protocol only needs three capabilities from the substrate, captured by
+//! [`Network`]: derive random points, find the node responsible for a
+//! point, and route to it counting hops.
+
+use rand::Rng;
+use std::fmt;
+
+/// Identifies a node within one network instance (a dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Wraps a dense node index.
+    pub fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The outcome of routing a message to the node owning a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// The node responsible for the destination point.
+    pub owner: NodeId,
+    /// Number of overlay/radio hops taken.
+    pub hops: usize,
+}
+
+/// A geometric network substrate.
+///
+/// Implementations: [`crate::RingNetwork`] (Chord-like DHT) and
+/// [`crate::PlaneNetwork`] (unit-disk sensor field).
+pub trait Network {
+    /// A point of the geometric space nodes live in.
+    type Point: Copy + fmt::Debug + Send + Sync;
+
+    /// Total nodes ever created (alive + failed).
+    fn node_count(&self) -> usize;
+
+    /// Nodes currently alive.
+    fn alive_count(&self) -> usize;
+
+    /// Whether `node` is alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn is_alive(&self, node: NodeId) -> bool;
+
+    /// A uniformly random point of the space (used with the shared seed
+    /// to derive storage locations).
+    fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Point;
+
+    /// The alive node responsible for `point` (ring: successor; plane:
+    /// nearest), or `None` if no node is alive.
+    fn owner_of(&self, point: Self::Point) -> Option<NodeId>;
+
+    /// Routes from `from` to the owner of `point`, counting hops.
+    /// Returns `None` when delivery is impossible (dead origin, empty
+    /// network, or a partitioned plane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    fn route(&self, from: NodeId, point: Self::Point) -> Option<Route>;
+
+    /// A uniformly random *alive* node, or `None` if all failed.
+    fn random_alive_node<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        let alive = self.alive_count();
+        if alive == 0 {
+            return None;
+        }
+        let target = rng.gen_range(0..alive);
+        let mut seen = 0;
+        for i in 0..self.node_count() {
+            let id = NodeId::new(i);
+            if self.is_alive(id) {
+                if seen == target {
+                    return Some(id);
+                }
+                seen += 1;
+            }
+        }
+        None
+    }
+
+    /// Fails each alive node independently with probability `fraction`.
+    /// Returns the number of nodes killed. Implementations refresh any
+    /// routing state (successor lists, neighbor tables) afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `[0, 1]`.
+    fn fail_uniform<R: Rng + ?Sized>(&mut self, fraction: f64, rng: &mut R) -> usize;
+}
+
+/// A session-churn model for P2P networks: node lifetimes are
+/// exponential with the given mean; after `horizon` time units a node has
+/// departed with probability `1 − exp(−horizon/mean)`.
+///
+/// The resulting death fraction plugs into
+/// [`Network::fail_uniform`] — under memoryless lifetimes, churn over a
+/// horizon is exactly an independent per-node coin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Churn {
+    /// Mean node lifetime (any time unit).
+    pub mean_lifetime: f64,
+    /// How long the data must persist before collection.
+    pub horizon: f64,
+}
+
+impl Churn {
+    /// The per-node departure probability over the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either field is non-positive.
+    pub fn death_fraction(&self) -> f64 {
+        assert!(
+            self.mean_lifetime > 0.0 && self.horizon >= 0.0,
+            "churn parameters must be positive"
+        );
+        1.0 - (-self.horizon / self.mean_lifetime).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip_and_display() {
+        let n = NodeId::new(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n.to_string(), "n42");
+    }
+
+    #[test]
+    fn churn_death_fraction() {
+        let c = Churn {
+            mean_lifetime: 10.0,
+            horizon: 0.0,
+        };
+        assert_eq!(c.death_fraction(), 0.0);
+        let c = Churn {
+            mean_lifetime: 10.0,
+            horizon: 10.0,
+        };
+        assert!((c.death_fraction() - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        // Long horizon: nearly everyone leaves.
+        let c = Churn {
+            mean_lifetime: 1.0,
+            horizon: 100.0,
+        };
+        assert!(c.death_fraction() > 0.9999);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn churn_rejects_nonpositive_lifetime() {
+        Churn {
+            mean_lifetime: 0.0,
+            horizon: 1.0,
+        }
+        .death_fraction();
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the network substrate and protocol invariants.
+
+use proptest::prelude::*;
+
+use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
+use prlc_gf::Gf256;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::network::{Network, NodeId};
+use crate::plane::PlaneNetwork;
+use crate::protocol::{predistribute, ProtocolConfig, SourceFanout};
+use crate::ring::RingNetwork;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ring_routing_always_reaches_the_owner(
+        nodes in 2usize..120,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = RingNetwork::new(nodes, &mut rng);
+        for _ in 0..10 {
+            let from = net.random_alive_node(&mut rng).unwrap();
+            let p = net.random_point(&mut rng);
+            let r = net.route(from, p).expect("healthy ring routes");
+            prop_assert_eq!(Some(r.owner), net.owner_of(p));
+            prop_assert!(r.hops <= 2 * 64);
+        }
+    }
+
+    #[test]
+    fn ring_survives_partial_failure(
+        nodes in 10usize..100,
+        seed in 0u64..500,
+        fraction in 0.0f64..0.9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = RingNetwork::new(nodes, &mut rng);
+        let killed = net.fail_uniform(fraction, &mut rng);
+        prop_assert_eq!(net.alive_count(), nodes - killed);
+        if net.alive_count() > 0 {
+            let from = net.random_alive_node(&mut rng).unwrap();
+            let p = net.random_point(&mut rng);
+            let r = net.route(from, p).expect("ring with survivors routes");
+            prop_assert!(net.is_alive(r.owner));
+        }
+    }
+
+    #[test]
+    fn plane_owner_is_nearest_alive(
+        nodes in 5usize..80,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = PlaneNetwork::with_connectivity_radius(nodes, &mut rng);
+        let p = net.random_point(&mut rng);
+        let owner = net.owner_of(p).unwrap();
+        let d = net.position(owner).distance(p);
+        for i in 0..nodes {
+            prop_assert!(net.position(NodeId::new(i)).distance(p) >= d - 1e-12);
+        }
+    }
+
+    #[test]
+    fn protocol_slot_supports_respect_scheme(
+        seed in 0u64..300,
+        scheme_idx in 0usize..3,
+        m in 5usize..40,
+    ) {
+        let scheme = Scheme::ALL[scheme_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = RingNetwork::new(30, &mut rng);
+        let profile = PriorityProfile::new(vec![2, 3, 4]).unwrap();
+        let sources: Vec<Vec<Gf256>> = vec![Vec::new(); 9];
+        let cfg = ProtocolConfig {
+            scheme,
+            profile: profile.clone(),
+            distribution: PriorityDistribution::uniform(3),
+            locations: m,
+            fanout: SourceFanout::Log { factor: 1.5 },
+            two_choices: seed % 2 == 0,
+            node_capacity: None,
+            shared_seed: seed,
+        };
+        let dep = predistribute(&net, &cfg, &sources, &mut rng).unwrap();
+        prop_assert_eq!(dep.slots().len(), m);
+        for slot in dep.slots() {
+            for idx in slot.block.support() {
+                let lvl = profile.level_of(idx);
+                match scheme {
+                    Scheme::Slc => prop_assert_eq!(lvl, slot.level),
+                    Scheme::Plc => prop_assert!(lvl <= slot.level),
+                    Scheme::Rlc => {} // anything goes
+                }
+            }
+        }
+        // Load accounting is consistent.
+        let load = dep.load_per_node(net.node_count());
+        prop_assert_eq!(load.iter().sum::<usize>(), m);
+        prop_assert_eq!(
+            load.iter().copied().max().unwrap_or(0),
+            dep.metrics().max_node_load
+        );
+    }
+
+    #[test]
+    fn fanout_counts_are_within_bounds(
+        factor in 0.1f64..5.0,
+        eligible in 1usize..200,
+        total in 2usize..2000,
+    ) {
+        let d = SourceFanout::Log { factor }.count_for_test(eligible, total);
+        prop_assert!(d >= 1);
+        prop_assert!(d <= eligible);
+        let all = SourceFanout::All.count_for_test(eligible, total);
+        prop_assert_eq!(all, eligible);
+    }
+}

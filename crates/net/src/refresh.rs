@@ -1,0 +1,305 @@
+//! In-network repair: re-creating coded blocks lost to node failure from
+//! surviving coded blocks.
+//!
+//! The paper persists data through *one* failure event; over longer
+//! horizons redundancy erodes as nodes keep churning. Because the codes
+//! are linear, a lost coded block can be replaced *without touching the
+//! original sources*: a random linear combination of surviving coded
+//! blocks is itself a valid coded block (functional repair, in the
+//! spirit of Dimakis et al.'s network coding for distributed storage —
+//! reference \[6\] of the paper). Scheme constraints carry over directly:
+//!
+//! * **SLC** — donors must come from the *same* level part (their
+//!   supports are confined to that level);
+//! * **PLC** — donors of level `≤ L` are valid for a level-`L` slot
+//!   (their supports lie inside the level-`L` prefix);
+//! * **RLC** — any donor works.
+//!
+//! Repair is an extension beyond the paper (documented in DESIGN.md);
+//! the `ablation_refresh` benchmark measures how much persistence it
+//! buys across repeated churn epochs.
+
+use prlc_core::{CodedBlock, Scheme};
+use prlc_gf::GfElem;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::collect::NodeLocator;
+use crate::protocol::Deployment;
+
+/// Configuration of one repair pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefreshConfig {
+    /// Scheme the deployment was encoded with (constrains donor
+    /// eligibility).
+    pub scheme: Scheme,
+    /// How many surviving donors are combined into each repaired block.
+    /// More donors make the repaired block "more random" (closer to a
+    /// fresh encoding) at proportional bandwidth cost.
+    pub donors_per_slot: usize,
+}
+
+/// Outcome of a repair pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefreshReport {
+    /// Slots whose block was re-created on a new alive node.
+    pub repaired: usize,
+    /// Slots with no eligible surviving donor (their data stays lost
+    /// until sources are re-disseminated).
+    pub unrepairable: usize,
+    /// Donor-fetch messages sent.
+    pub messages: usize,
+    /// Total hops across donor fetches.
+    pub total_hops: usize,
+}
+
+/// Repairs every slot of `deployment` whose caching node has failed,
+/// placing the re-created block on a live node chosen by the same
+/// owner-of-a-random-point rule as the original protocol.
+///
+/// Returns `None` when the network has no alive nodes at all.
+pub fn refresh<N, F, R>(
+    net: &N,
+    deployment: &mut Deployment<F>,
+    cfg: &RefreshConfig,
+    rng: &mut R,
+) -> Option<RefreshReport>
+where
+    N: NodeLocator,
+    F: GfElem,
+    R: Rng + ?Sized,
+{
+    if net.alive_count() == 0 {
+        return None;
+    }
+    let mut report = RefreshReport::default();
+
+    // Index surviving slots by level for donor lookup.
+    let dead: Vec<usize> = (0..deployment.slots().len())
+        .filter(|&i| !net.is_alive(deployment.slots()[i].node))
+        .collect();
+    let alive_slots: Vec<usize> = (0..deployment.slots().len())
+        .filter(|&i| net.is_alive(deployment.slots()[i].node))
+        .collect();
+
+    for slot_idx in dead {
+        let level = deployment.slots()[slot_idx].level;
+        // Eligible donors under the scheme's support rules.
+        let mut donors: Vec<usize> = alive_slots
+            .iter()
+            .copied()
+            .filter(|&j| {
+                let donor = &deployment.slots()[j];
+                if donor.block.is_empty() {
+                    return false;
+                }
+                match cfg.scheme {
+                    Scheme::Slc => donor.level == level,
+                    Scheme::Plc => donor.level <= level,
+                    Scheme::Rlc => true,
+                }
+            })
+            .collect();
+        if donors.is_empty() {
+            report.unrepairable += 1;
+            continue;
+        }
+        donors.shuffle(rng);
+        donors.truncate(cfg.donors_per_slot.max(1));
+
+        // Place the repaired block at the owner of a fresh random point.
+        let point = net.random_point(rng);
+        let new_node = net.owner_of(point).expect("alive_count > 0");
+
+        let width = deployment.profile().total_blocks();
+        let mut block: CodedBlock<F> = CodedBlock::empty(level, width);
+        for &j in &donors {
+            let donor_slot = &deployment.slots()[j];
+            // Fetch the donor block: route from the repairing node to the
+            // donor's cache.
+            if let Some(route) = net.route(new_node, net.locate(donor_slot.node)) {
+                report.messages += 1;
+                report.total_hops += route.hops;
+            }
+            let beta = F::random_nonzero(rng);
+            let donor_block = donor_slot.block.clone();
+            block.combine(&donor_block, beta);
+        }
+
+        let slot = &mut deployment.slots_mut()[slot_idx];
+        slot.node = new_node;
+        slot.block = block;
+        report.repaired += 1;
+    }
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::protocol::{predistribute, ProtocolConfig, SourceFanout};
+    use crate::ring::RingNetwork;
+    use prlc_core::{PlcDecoder, PriorityDecoder, PriorityDistribution, PriorityProfile};
+    use prlc_gf::Gf256;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(
+        seed: u64,
+        scheme: Scheme,
+    ) -> (RingNetwork, Deployment<Gf256>, Vec<Vec<Gf256>>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = RingNetwork::new(60, &mut rng);
+        let profile = PriorityProfile::new(vec![3, 4, 5]).unwrap();
+        let sources: Vec<Vec<Gf256>> = (0..12)
+            .map(|_| (0..2).map(|_| Gf256::random(&mut rng)).collect())
+            .collect();
+        let dep = predistribute(
+            &net,
+            &ProtocolConfig {
+                scheme,
+                profile,
+                distribution: PriorityDistribution::uniform(3),
+                locations: 48,
+                fanout: SourceFanout::All,
+                two_choices: true,
+                node_capacity: None,
+                shared_seed: seed,
+            },
+            &sources,
+            &mut rng,
+        )
+        .unwrap();
+        (net, dep, sources, rng)
+    }
+
+    #[test]
+    fn refresh_moves_dead_slots_to_live_nodes() {
+        let (mut net, mut dep, _, mut rng) = setup(1, Scheme::Plc);
+        net.fail_uniform(0.4, &mut rng);
+        let dead_before = dep.slots().iter().filter(|s| !net.is_alive(s.node)).count();
+        assert!(dead_before > 0, "seed produced no failures");
+        let report = refresh(
+            &net,
+            &mut dep,
+            &RefreshConfig {
+                scheme: Scheme::Plc,
+                donors_per_slot: 3,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(report.repaired + report.unrepairable, dead_before);
+        assert!(report.repaired > 0);
+        // Every slot now lives on an alive node (unrepairable ones were
+        // re-placed too? No: unrepairable slots keep their dead node).
+        let still_dead = dep.slots().iter().filter(|s| !net.is_alive(s.node)).count();
+        assert_eq!(still_dead, report.unrepairable);
+    }
+
+    #[test]
+    fn repaired_blocks_respect_scheme_supports() {
+        for scheme in [Scheme::Slc, Scheme::Plc] {
+            let (mut net, mut dep, _, mut rng) = setup(2, scheme);
+            net.fail_uniform(0.5, &mut rng);
+            refresh(
+                &net,
+                &mut dep,
+                &RefreshConfig {
+                    scheme,
+                    donors_per_slot: 2,
+                },
+                &mut rng,
+            )
+            .unwrap();
+            let profile = dep.profile().clone();
+            for slot in dep.slots() {
+                for idx in slot.block.support() {
+                    match scheme {
+                        Scheme::Slc => assert_eq!(profile.level_of(idx), slot.level),
+                        _ => assert!(profile.level_of(idx) <= slot.level),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_restores_decodability_after_repeated_churn() {
+        // Two churn epochs with repair in between: data stays decodable
+        // far more often than without repair.
+        let mut with_repair = 0usize;
+        let mut without_repair = 0usize;
+        for seed in 0..6u64 {
+            for repair in [true, false] {
+                let (mut net, mut dep, sources, mut rng) = setup(100 + seed, Scheme::Plc);
+                for _ in 0..3 {
+                    net.fail_uniform(0.25, &mut rng);
+                    if net.alive_count() == 0 {
+                        break;
+                    }
+                    if repair {
+                        refresh(
+                            &net,
+                            &mut dep,
+                            &RefreshConfig {
+                                scheme: Scheme::Plc,
+                                donors_per_slot: 4,
+                            },
+                            &mut rng,
+                        );
+                    }
+                }
+                let Some(collector) = net.random_alive_node(&mut rng) else {
+                    continue;
+                };
+                let mut dec = PlcDecoder::with_payloads(dep.profile().clone());
+                crate::collect::collect(
+                    &net,
+                    &dep,
+                    &mut dec,
+                    collector,
+                    &crate::collect::CollectionConfig::default(),
+                    &mut rng,
+                );
+                if dec.is_complete() {
+                    // Verify payloads really survive repeated re-coding.
+                    for (i, s) in sources.iter().enumerate() {
+                        assert_eq!(dec.recovered(i).unwrap(), &s[..], "block {i}");
+                    }
+                    if repair {
+                        with_repair += 1;
+                    } else {
+                        without_repair += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            with_repair >= without_repair,
+            "repair should not hurt: {with_repair} vs {without_repair}"
+        );
+        assert!(
+            with_repair >= 4,
+            "repair preserved data only {with_repair}/6"
+        );
+    }
+
+    #[test]
+    fn empty_network_returns_none() {
+        let (mut net, mut dep, _, mut rng) = setup(3, Scheme::Plc);
+        net.fail_arc(0, 1.0);
+        assert!(refresh(
+            &net,
+            &mut dep,
+            &RefreshConfig {
+                scheme: Scheme::Plc,
+                donors_per_slot: 2
+            },
+            &mut rng
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,363 @@
+//! A Chord-like ring DHT (Stoica et al., SIGCOMM 2001) — the P2P
+//! instantiation of the paper's geometric network.
+//!
+//! Nodes hold random 64-bit IDs on a ring; the owner of a point is its
+//! *successor* (first node ID at or clockwise-after the point). Routing
+//! uses per-node finger tables (`finger[i]` = successor of
+//! `id + 2^i`), giving the classic `O(log W)` greedy lookup. After
+//! failures the structure re-stabilises (successor lists and fingers are
+//! rebuilt over the surviving nodes), modelling Chord's stabilisation
+//! protocol having converged before the next operation.
+
+use rand::Rng;
+use std::collections::BTreeMap;
+
+use crate::network::{Network, NodeId, Route};
+
+const ID_BITS: usize = 64;
+/// Safety bound on lookup path length (Chord takes `O(log W)` hops; this
+/// only trips on internal inconsistencies).
+const MAX_HOPS: usize = 4 * ID_BITS;
+
+/// A simulated Chord-like ring overlay.
+#[derive(Debug, Clone)]
+pub struct RingNetwork {
+    /// Node IDs on the ring, indexed by dense `NodeId`.
+    ids: Vec<u64>,
+    alive: Vec<bool>,
+    alive_count: usize,
+    /// Alive nodes sorted by ring ID: id -> dense index.
+    sorted: BTreeMap<u64, usize>,
+    /// fingers[node][i] = dense index of successor(ids[node] + 2^i).
+    fingers: Vec<Vec<usize>>,
+}
+
+impl RingNetwork {
+    /// Creates a ring of `nodes` peers with distinct random IDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new<R: Rng + ?Sized>(nodes: usize, rng: &mut R) -> Self {
+        assert!(nodes > 0, "a ring needs at least one node");
+        let mut ids = Vec::with_capacity(nodes);
+        let mut sorted = BTreeMap::new();
+        while ids.len() < nodes {
+            let id: u64 = rng.gen();
+            if let std::collections::btree_map::Entry::Vacant(e) = sorted.entry(id) {
+                e.insert(ids.len());
+                ids.push(id);
+            }
+        }
+        let mut net = RingNetwork {
+            ids,
+            alive: vec![true; nodes],
+            alive_count: nodes,
+            sorted,
+            fingers: Vec::new(),
+        };
+        net.stabilize();
+        net
+    }
+
+    /// The ring ID of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn id_of(&self, node: NodeId) -> u64 {
+        self.ids[node.index()]
+    }
+
+    /// Rebuilds successor structure and finger tables over the alive
+    /// nodes (Chord stabilisation, assumed converged).
+    pub fn stabilize(&mut self) {
+        self.sorted = self
+            .ids
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.alive[i])
+            .map(|(i, &id)| (id, i))
+            .collect();
+        self.fingers = vec![Vec::new(); self.ids.len()];
+        if self.sorted.is_empty() {
+            return;
+        }
+        for (i, &id) in self.ids.iter().enumerate() {
+            if !self.alive[i] {
+                continue;
+            }
+            let table: Vec<usize> = (0..ID_BITS)
+                .map(|k| self.successor(id.wrapping_add(1u64 << k)))
+                .collect();
+            self.fingers[i] = table;
+        }
+    }
+
+    /// Dense index of the alive successor of `point` (first alive ID at
+    /// or after `point`, wrapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node is alive.
+    fn successor(&self, point: u64) -> usize {
+        assert!(!self.sorted.is_empty(), "no alive nodes");
+        self.sorted
+            .range(point..)
+            .next()
+            .or_else(|| self.sorted.iter().next())
+            .map(|(_, &idx)| idx)
+            .expect("sorted map is non-empty")
+    }
+
+    /// Clockwise distance from `a` to `b` on the ring.
+    fn clockwise(a: u64, b: u64) -> u64 {
+        b.wrapping_sub(a)
+    }
+
+    /// Fails every alive node whose ID falls in the clockwise arc of
+    /// `fraction` of the ring starting at `start` — a correlated-failure
+    /// model (e.g. a region of the ID space assigned to one data centre
+    /// going down). Returns the number killed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `[0, 1]`.
+    pub fn fail_arc(&mut self, start: u64, fraction: f64) -> usize {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0,1], got {fraction}"
+        );
+        let span = (fraction * u64::MAX as f64) as u64;
+        let mut killed = 0;
+        for i in 0..self.ids.len() {
+            if self.alive[i] && Self::clockwise(start, self.ids[i]) <= span {
+                self.alive[i] = false;
+                self.alive_count -= 1;
+                killed += 1;
+            }
+        }
+        self.stabilize();
+        killed
+    }
+}
+
+impl Network for RingNetwork {
+    type Point = u64;
+
+    fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.gen()
+    }
+
+    fn owner_of(&self, point: u64) -> Option<NodeId> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(NodeId::new(self.successor(point)))
+    }
+
+    fn route(&self, from: NodeId, point: u64) -> Option<Route> {
+        if !self.alive[from.index()] || self.sorted.is_empty() {
+            return None;
+        }
+        let owner = self.successor(point);
+        let mut current = from.index();
+        let mut hops = 0usize;
+        while current != owner {
+            if hops > MAX_HOPS {
+                return None; // inconsistent routing state
+            }
+            // Greedy Chord step: the finger that makes the most clockwise
+            // progress toward `point` without overshooting the owner.
+            let cur_id = self.ids[current];
+            let dist = Self::clockwise(cur_id, point);
+            let mut best = None;
+            let mut best_remaining = dist;
+            for &f in &self.fingers[current] {
+                if f == current {
+                    continue;
+                }
+                let fid = self.ids[f];
+                let advance = Self::clockwise(cur_id, fid);
+                // The finger must not pass the target point.
+                if advance > 0 && advance <= dist {
+                    let remaining = Self::clockwise(fid, point);
+                    if remaining < best_remaining {
+                        best_remaining = remaining;
+                        best = Some(f);
+                    }
+                }
+            }
+            match best {
+                Some(next) => {
+                    current = next;
+                    hops += 1;
+                }
+                None => {
+                    // No finger precedes the target: the owner is our
+                    // direct successor — one final hop.
+                    current = owner;
+                    hops += 1;
+                }
+            }
+        }
+        Some(Route {
+            owner: NodeId::new(owner),
+            hops,
+        })
+    }
+
+    fn fail_uniform<R: Rng + ?Sized>(&mut self, fraction: f64, rng: &mut R) -> usize {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0,1], got {fraction}"
+        );
+        let mut killed = 0;
+        for i in 0..self.ids.len() {
+            if self.alive[i] && rng.gen_bool(fraction) {
+                self.alive[i] = false;
+                self.alive_count -= 1;
+                killed += 1;
+            }
+        }
+        self.stabilize();
+        killed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring(n: usize, seed: u64) -> RingNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RingNetwork::new(n, &mut rng)
+    }
+
+    #[test]
+    fn construction_basics() {
+        let net = ring(50, 1);
+        assert_eq!(net.node_count(), 50);
+        assert_eq!(net.alive_count(), 50);
+        assert!(net.is_alive(NodeId::new(0)));
+    }
+
+    #[test]
+    fn owner_is_successor() {
+        let net = ring(20, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let p = net.random_point(&mut rng);
+            let owner = net.owner_of(p).unwrap();
+            let oid = net.id_of(owner);
+            // No alive node lies strictly between p and owner clockwise.
+            for i in 0..20 {
+                let nid = net.id_of(NodeId::new(i));
+                if nid != oid {
+                    assert!(
+                        RingNetwork::clockwise(p, nid) > RingNetwork::clockwise(p, oid),
+                        "node {nid:x} is a closer successor than {oid:x} for {p:x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_reaches_owner_with_log_hops() {
+        let net = ring(500, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let from = net.random_alive_node(&mut rng).unwrap();
+            let p = net.random_point(&mut rng);
+            let r = net.route(from, p).expect("route must succeed");
+            assert_eq!(Some(r.owner), net.owner_of(p));
+            // O(log W): 2*log2(500) ~ 18; allow slack.
+            assert!(r.hops <= 30, "hops = {}", r.hops);
+        }
+    }
+
+    #[test]
+    fn routing_to_own_point_is_zero_hops() {
+        let net = ring(10, 6);
+        let n = NodeId::new(3);
+        let r = net.route(n, net.id_of(n)).unwrap();
+        assert_eq!(r.owner, n);
+        assert_eq!(r.hops, 0);
+    }
+
+    #[test]
+    fn uniform_failure_kills_about_the_right_fraction() {
+        let mut net = ring(1000, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let killed = net.fail_uniform(0.3, &mut rng);
+        assert_eq!(net.alive_count(), 1000 - killed);
+        assert!((200..400).contains(&killed), "killed {killed}");
+        // Routing still works among the survivors.
+        let from = net.random_alive_node(&mut rng).unwrap();
+        let p = net.random_point(&mut rng);
+        let r = net.route(from, p).unwrap();
+        assert!(net.is_alive(r.owner));
+    }
+
+    #[test]
+    fn fail_arc_kills_contiguous_ids() {
+        let mut net = ring(400, 9);
+        let killed = net.fail_arc(0, 0.25);
+        // Random u64 ids: ~25% fall in the arc.
+        assert!((60..140).contains(&killed), "killed {killed}");
+        // All dead nodes are within the arc.
+        for i in 0..400 {
+            let id = net.id_of(NodeId::new(i));
+            let in_arc = id <= (0.25 * u64::MAX as f64) as u64;
+            assert_eq!(!net.is_alive(NodeId::new(i)), in_arc, "node {i}");
+        }
+    }
+
+    #[test]
+    fn total_failure_leaves_no_owner() {
+        let mut net = ring(5, 10);
+        net.fail_arc(0, 1.0);
+        assert_eq!(net.alive_count(), 0);
+        assert_eq!(net.owner_of(123), None);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(net.random_alive_node(&mut rng), None);
+    }
+
+    #[test]
+    fn single_node_ring_owns_everything() {
+        let net = ring(1, 11);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let p = net.random_point(&mut rng);
+            assert_eq!(net.owner_of(p), Some(NodeId::new(0)));
+            let r = net.route(NodeId::new(0), p).unwrap();
+            assert_eq!(r.hops, 0);
+        }
+    }
+
+    #[test]
+    fn dead_origin_cannot_route() {
+        let mut net = ring(10, 12);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Kill one specific node by failing until it dies.
+        while net.is_alive(NodeId::new(0)) {
+            net.fail_uniform(0.2, &mut rng);
+        }
+        assert_eq!(net.route(NodeId::new(0), 55), None);
+    }
+}

@@ -1,0 +1,186 @@
+//! Cross-validation between the three independent implementations of
+//! "how many levels decode": the analytical model (`prlc-analysis`), the
+//! in-memory simulation (`prlc-sim` over the real decoders), and the
+//! networked pipeline (`prlc-net`). This is the integration-level
+//! version of the paper's Sec. 5.1 validation.
+
+use prlc::prelude::*;
+use prlc::sim::{simulate_decoding_curve, CurveConfig, Persistence};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Analysis and simulation agree along the whole curve for both priority
+/// schemes (paper Figs. 4 and 5 at reduced scale).
+#[test]
+fn analysis_matches_simulation_along_the_curve() {
+    let profile = PriorityProfile::uniform(5, 12).unwrap();
+    let dist = PriorityDistribution::uniform(5);
+    let opts = AnalysisOptions::sharp();
+    for scheme in [Scheme::Slc, Scheme::Plc] {
+        let curve = simulate_decoding_curve::<Gf256>(&CurveConfig {
+            persistence: Persistence::Coding(scheme),
+            profile: profile.clone(),
+            distribution: dist.clone(),
+            max_blocks: 120,
+            runs: 80,
+            seed: 21,
+        });
+        for m in (0..=120).step_by(12) {
+            let analytic = curves::expected_levels(scheme, &profile, &dist, m, &opts);
+            let sim = curve.summaries[m].mean;
+            assert!(
+                (sim - analytic).abs() < 0.3,
+                "{scheme} m={m}: sim {sim} vs analysis {analytic}"
+            );
+        }
+    }
+}
+
+/// The rank-exact model is a strictly better predictor than the sharp
+/// model can be at the completion knee (where GF(256) singularities
+/// actually bite), and never optimistic relative to sharp.
+#[test]
+fn rank_exact_model_is_consistent() {
+    let profile = PriorityProfile::flat(40).unwrap();
+    let dist = PriorityDistribution::uniform(1);
+    let sharp = AnalysisOptions::sharp();
+    let exact = AnalysisOptions::rank_exact(256.0);
+    for m in 40..=50 {
+        let ps = curves::prob_complete(Scheme::Plc, &profile, &dist, m, &sharp);
+        let pe = curves::prob_complete(Scheme::Plc, &profile, &dist, m, &exact);
+        assert!(pe <= ps + 1e-12, "m={m}");
+        assert!(ps - pe < 0.01, "m={m}: correction too large");
+    }
+    // At exactly m = N the sharp model says certainty; reality (and the
+    // rank model) say slightly less.
+    assert_eq!(
+        curves::prob_complete(Scheme::Plc, &profile, &dist, 40, &sharp),
+        1.0
+    );
+    let pe = curves::prob_complete(Scheme::Plc, &profile, &dist, 40, &exact);
+    assert!(pe < 1.0 && pe > 0.98);
+}
+
+/// A distribution designed by the feasibility solver delivers its
+/// promised decoding behaviour in simulation with the real decoder.
+#[test]
+fn designed_distribution_validates_in_simulation() {
+    let profile = PriorityProfile::new(vec![5, 10, 35]).unwrap();
+    let problem = FeasibilityProblem {
+        scheme: Scheme::Plc,
+        profile: profile.clone(),
+        constraints: vec![
+            DecodingConstraint::new(30, 1.0),
+            DecodingConstraint::new(60, 2.0),
+        ],
+        full_recovery: Some(FullRecoveryConstraint {
+            alpha: 2.0,
+            epsilon: 0.01,
+        }),
+        options: AnalysisOptions::sharp(),
+        tolerance: 0.0,
+    };
+    let sol = solve_feasibility(
+        &problem,
+        &SolverOptions {
+            max_evaluations: 4000,
+            restarts: 10,
+            seed: 5,
+        },
+    );
+    assert!(sol.feasible, "solver failed: penalty {}", sol.penalty);
+
+    let curve = simulate_decoding_curve::<Gf256>(&CurveConfig {
+        persistence: Persistence::Coding(Scheme::Plc),
+        profile,
+        distribution: sol.distribution.clone(),
+        max_blocks: 100,
+        runs: 100,
+        seed: 31,
+    });
+    // Simulated means at the constraint points honour the constraints
+    // (tolerance: CI of 100 runs plus the sharp-model gap).
+    assert!(
+        curve.summaries[30].mean > 1.0 - 0.2,
+        "E(X_30) simulated {}",
+        curve.summaries[30].mean
+    );
+    assert!(
+        curve.summaries[60].mean > 2.0 - 0.2,
+        "E(X_60) simulated {}",
+        curve.summaries[60].mean
+    );
+}
+
+/// The networked pipeline and the in-memory simulation tell the same
+/// story: mean decoded levels after collecting M blocks from the ring
+/// match the in-memory curve at M (they use the very same decoder).
+#[test]
+fn network_collection_matches_in_memory_curve() {
+    let profile = PriorityProfile::new(vec![4, 8, 12]).unwrap();
+    let dist = PriorityDistribution::uniform(3);
+    let locations = 48usize;
+
+    // In-memory curve.
+    let curve = simulate_decoding_curve::<Gf256>(&CurveConfig {
+        persistence: Persistence::Coding(Scheme::Plc),
+        profile: profile.clone(),
+        distribution: dist.clone(),
+        max_blocks: locations,
+        runs: 60,
+        seed: 77,
+    });
+
+    // Networked: collect everything from a healthy ring, record the
+    // trajectory, average over seeds.
+    let runs = 30usize;
+    let mut traj_sum = vec![0.0f64; locations + 1];
+    let mut counted = vec![0usize; locations + 1];
+    for seed in 0..runs as u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let net = RingNetwork::new(120, &mut rng);
+        let data: Vec<Vec<Gf256>> = vec![Vec::new(); profile.total_blocks()];
+        let dep = predistribute(
+            &net,
+            &ProtocolConfig {
+                scheme: Scheme::Plc,
+                profile: profile.clone(),
+                distribution: dist.clone(),
+                locations,
+                fanout: SourceFanout::All,
+                two_choices: true,
+                node_capacity: None,
+                shared_seed: seed,
+            },
+            &data,
+            &mut rng,
+        )
+        .unwrap();
+        let mut dec: PlcDecoder<Gf256, ()> = PlcDecoder::coefficients_only(profile.clone());
+        let collector = net.random_alive_node(&mut rng).unwrap();
+        let report = collect(
+            &net,
+            &dep,
+            &mut dec,
+            collector,
+            &CollectionConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        for (i, &lvl) in report.levels_after_block.iter().enumerate() {
+            traj_sum[i + 1] += lvl as f64;
+            counted[i + 1] += 1;
+        }
+    }
+    for m in [16usize, 32, 48] {
+        if counted[m] < runs / 2 {
+            continue; // early-stopped trajectories do not reach here
+        }
+        let net_mean = traj_sum[m] / counted[m] as f64;
+        let mem_mean = curve.summaries[m].mean;
+        assert!(
+            (net_mean - mem_mean).abs() < 0.45,
+            "m={m}: network {net_mean} vs in-memory {mem_mean}"
+        );
+    }
+}

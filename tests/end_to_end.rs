@@ -1,0 +1,263 @@
+//! End-to-end integration tests: source data → pre-distribution →
+//! failures → collection → payload-exact recovery, across both network
+//! substrates and both priority codes.
+
+use prlc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sources(rng: &mut StdRng, n: usize, blk: usize) -> Vec<Vec<Gf256>> {
+    (0..n)
+        .map(|_| (0..blk).map(|_| Gf256::random(rng)).collect())
+        .collect()
+}
+
+#[test]
+fn ring_plc_full_pipeline_recovers_all_payloads() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = RingNetwork::new(100, &mut rng);
+    let profile = PriorityProfile::new(vec![5, 10, 15]).unwrap();
+    let data = sources(&mut rng, 30, 8);
+
+    let dep = predistribute(
+        &net,
+        &ProtocolConfig {
+            scheme: Scheme::Plc,
+            profile: profile.clone(),
+            distribution: PriorityDistribution::uniform(3),
+            locations: 90,
+            fanout: SourceFanout::All,
+            two_choices: true,
+            node_capacity: None,
+            shared_seed: 11,
+        },
+        &data,
+        &mut rng,
+    )
+    .unwrap();
+
+    let mut dec = PlcDecoder::with_payloads(profile);
+    let collector = net.random_alive_node(&mut rng).unwrap();
+    let report = collect(
+        &net,
+        &dep,
+        &mut dec,
+        collector,
+        &CollectionConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    assert!(report.target_reached);
+    assert!(dec.is_complete());
+    for (i, d) in data.iter().enumerate() {
+        assert_eq!(dec.recovered(i).unwrap(), &d[..], "payload {i}");
+    }
+}
+
+#[test]
+fn plane_slc_pipeline_with_failures_prioritises_level_one() {
+    // Across several seeds, level-1 survival under 45% sensor death must
+    // be at least as common as level-3 survival, and strictly more
+    // common overall (the differentiated-persistence claim).
+    let mut level1_hits = 0;
+    let mut level3_hits = 0;
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = PlaneNetwork::with_connectivity_radius(200, &mut rng);
+        let profile = PriorityProfile::new(vec![4, 8, 18]).unwrap();
+        let data = sources(&mut rng, 30, 4);
+        let dep = predistribute(
+            &net,
+            &ProtocolConfig {
+                scheme: Scheme::Slc,
+                profile: profile.clone(),
+                // Skew toward level 1, as a designed distribution would.
+                distribution: PriorityDistribution::from_weights(vec![0.5, 0.3, 0.2]).unwrap(),
+                locations: 80,
+                fanout: SourceFanout::All,
+                two_choices: true,
+                node_capacity: None,
+                shared_seed: seed,
+            },
+            &data,
+            &mut rng,
+        )
+        .unwrap();
+
+        net.fail_uniform(0.45, &mut rng);
+        let Some(collector) = net.random_alive_node(&mut rng) else {
+            continue;
+        };
+        let mut dec = SlcDecoder::with_payloads(profile.clone());
+        collect(
+            &net,
+            &dep,
+            &mut dec,
+            collector,
+            &CollectionConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        if dec.level_complete(0) {
+            level1_hits += 1;
+            // Verify payloads when recovered.
+            for i in profile.blocks_of(0) {
+                assert_eq!(dec.recovered(i).unwrap(), &data[i][..]);
+            }
+        }
+        if dec.level_complete(2) {
+            level3_hits += 1;
+        }
+    }
+    assert!(
+        level1_hits >= level3_hits,
+        "critical data less durable than bulk: {level1_hits} vs {level3_hits}"
+    );
+    assert!(
+        level1_hits >= 5,
+        "level 1 survived only {level1_hits}/8 runs"
+    );
+}
+
+#[test]
+fn early_stop_saves_collection_work() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = RingNetwork::new(120, &mut rng);
+    let profile = PriorityProfile::new(vec![3, 27]).unwrap();
+    let data = sources(&mut rng, 30, 4);
+    let dep = predistribute(
+        &net,
+        &ProtocolConfig {
+            scheme: Scheme::Plc,
+            profile: profile.clone(),
+            distribution: PriorityDistribution::from_weights(vec![0.4, 0.6]).unwrap(),
+            locations: 100,
+            fanout: SourceFanout::All,
+            two_choices: false,
+            node_capacity: None,
+            shared_seed: 3,
+        },
+        &data,
+        &mut rng,
+    )
+    .unwrap();
+    let collector = net.random_alive_node(&mut rng).unwrap();
+
+    let mut partial = PlcDecoder::with_payloads(profile.clone());
+    let early = collect(
+        &net,
+        &dep,
+        &mut partial,
+        collector,
+        &CollectionConfig {
+            target_levels: Some(1),
+        },
+        &mut rng,
+    )
+    .unwrap();
+
+    let mut full = PlcDecoder::with_payloads(profile);
+    let complete = collect(
+        &net,
+        &dep,
+        &mut full,
+        collector,
+        &CollectionConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+
+    assert!(early.target_reached);
+    assert!(
+        early.blocks_collected < complete.blocks_collected,
+        "early stop ({}) should collect fewer blocks than full decode ({})",
+        early.blocks_collected,
+        complete.blocks_collected
+    );
+}
+
+#[test]
+fn rlc_requires_full_collection_on_network_too() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = RingNetwork::new(80, &mut rng);
+    let profile = PriorityProfile::new(vec![4, 8]).unwrap();
+    let data = sources(&mut rng, 12, 4);
+    let dep = predistribute(
+        &net,
+        &ProtocolConfig {
+            scheme: Scheme::Rlc,
+            profile: profile.clone(),
+            distribution: PriorityDistribution::uniform(2),
+            locations: 30,
+            fanout: SourceFanout::All,
+            two_choices: true,
+            node_capacity: None,
+            shared_seed: 4,
+        },
+        &data,
+        &mut rng,
+    )
+    .unwrap();
+    let collector = net.random_alive_node(&mut rng).unwrap();
+    let mut dec: RlcDecoder<Gf256> = RlcDecoder::with_payloads(profile);
+    let report = collect(
+        &net,
+        &dep,
+        &mut dec,
+        collector,
+        &CollectionConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    // All-or-nothing: until the 12th innovative block, nothing decodes.
+    for (i, &lvl) in report.levels_after_block.iter().enumerate() {
+        if i + 1 < 12 {
+            assert_eq!(lvl, 0, "RLC decoded early at block {}", i + 1);
+        }
+    }
+    assert!(dec.is_complete());
+}
+
+#[test]
+fn deterministic_pipeline_given_seeds() {
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(77);
+        let net = RingNetwork::new(50, &mut rng);
+        let profile = PriorityProfile::new(vec![2, 4]).unwrap();
+        let data = sources(&mut rng, 6, 4);
+        let dep = predistribute(
+            &net,
+            &ProtocolConfig {
+                scheme: Scheme::Plc,
+                profile: profile.clone(),
+                distribution: PriorityDistribution::uniform(2),
+                locations: 20,
+                fanout: SourceFanout::Log { factor: 2.0 },
+                two_choices: true,
+                node_capacity: None,
+                shared_seed: 8,
+            },
+            &data,
+            &mut rng,
+        )
+        .unwrap();
+        let mut dec = PlcDecoder::with_payloads(profile);
+        let collector = net.random_alive_node(&mut rng).unwrap();
+        let report = collect(
+            &net,
+            &dep,
+            &mut dec,
+            collector,
+            &CollectionConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        (
+            report.blocks_collected,
+            report.nodes_queried,
+            report.query_hops,
+            dec.decoded_levels(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,206 @@
+//! The paper's qualitative claims, asserted as integration tests at
+//! reduced (fast) scale. Each test cites the section making the claim.
+
+use prlc::prelude::*;
+use prlc::sim::{simulate_decoding_curve, CurveConfig, Persistence};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Sec. 3.1 / Fig. 1: "for both PLC and SLC, as long as the first coded
+/// block is received, the first source block is decoded", while "RLC
+/// requires at least three coded blocks to decode any useful
+/// information".
+#[test]
+fn fig1_first_block_behaviour() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let profile = PriorityProfile::new(vec![1, 2]).unwrap();
+    let data: Vec<Vec<Gf256>> = (0..3).map(|_| vec![Gf256::random(&mut rng)]).collect();
+
+    for scheme in [Scheme::Slc, Scheme::Plc] {
+        let enc = Encoder::new(scheme, profile.clone());
+        let block = enc.encode(0, &data, &mut rng);
+        let mut plc = PlcDecoder::with_payloads(profile.clone());
+        let mut slc = SlcDecoder::with_payloads(profile.clone());
+        let decoded = match scheme {
+            Scheme::Slc => {
+                slc.insert_block(&block);
+                slc.decoded_levels()
+            }
+            _ => {
+                plc.insert_block(&block);
+                plc.decoded_levels()
+            }
+        };
+        assert_eq!(decoded, 1, "{scheme} failed to decode x1 from one block");
+    }
+
+    let enc = Encoder::new(Scheme::Rlc, profile.clone());
+    let mut dec: RlcDecoder<Gf256> = RlcDecoder::with_payloads(profile);
+    dec.insert_block(&enc.encode(0, &data, &mut rng));
+    dec.insert_block(&enc.encode(0, &data, &mut rng));
+    assert_eq!(dec.decoded_levels(), 0, "RLC decoded with < 3 blocks");
+    dec.insert_block(&enc.encode(0, &data, &mut rng));
+    // Three random rows over GF(256) are independent whp.
+    assert_eq!(dec.decoded_levels(), 2);
+}
+
+/// Sec. 5.2: "the more priority levels, the less source blocks can be
+/// recovered by SLC with the same number of coded blocks ... the number
+/// of levels do not have much impact on the decoding performance of
+/// PLC."
+#[test]
+fn level_count_hurts_slc_not_plc() {
+    let n = 60usize;
+    let m = 2 * n;
+    let runs = 20;
+    let frac = |persistence: Persistence, levels: usize| -> f64 {
+        let per = n / levels;
+        let profile = PriorityProfile::uniform(levels, per).unwrap();
+        let curve = simulate_decoding_curve::<Gf256>(&CurveConfig {
+            persistence,
+            profile,
+            distribution: PriorityDistribution::uniform(levels),
+            max_blocks: m,
+            runs,
+            seed: 42,
+        });
+        // Fraction of levels decoded at M = 1.5 N.
+        curve.summaries[3 * n / 2].mean / levels as f64
+    };
+    let slc_coarse = frac(Persistence::Coding(Scheme::Slc), 4);
+    let slc_fine = frac(Persistence::Coding(Scheme::Slc), 30);
+    let plc_coarse = frac(Persistence::Coding(Scheme::Plc), 4);
+    let plc_fine = frac(Persistence::Coding(Scheme::Plc), 30);
+
+    assert!(
+        slc_fine < slc_coarse - 0.1,
+        "SLC should degrade with level count: {slc_coarse} -> {slc_fine}"
+    );
+    assert!(
+        (plc_coarse - plc_fine).abs() < 0.15,
+        "PLC should be insensitive to level count: {plc_coarse} -> {plc_fine}"
+    );
+}
+
+/// Sec. 5.2: "In the extreme case where each level contains one source
+/// block, SLC degrades to the scheme of no coding" — their decoding
+/// curves must coincide (both are coupon collectors).
+#[test]
+fn one_block_levels_make_slc_replication() {
+    let n = 24usize;
+    let profile = PriorityProfile::uniform(n, 1).unwrap();
+    let dist = PriorityDistribution::uniform(n);
+    let mk = |p: Persistence| {
+        simulate_decoding_curve::<Gf256>(&CurveConfig {
+            persistence: p,
+            profile: profile.clone(),
+            distribution: dist.clone(),
+            max_blocks: 4 * n,
+            runs: 40,
+            seed: 7,
+        })
+    };
+    let slc = mk(Persistence::Coding(Scheme::Slc));
+    let rep = mk(Persistence::Replication);
+    for m in (0..=4 * n).step_by(8) {
+        assert!(
+            (slc.summaries[m].mean - rep.summaries[m].mean).abs() < 0.12 * n as f64,
+            "m={m}: SLC {} vs replication {}",
+            slc.summaries[m].mean,
+            rep.summaries[m].mean
+        );
+    }
+    // And PLC still mixes: just past N blocks it is far ahead of the
+    // degenerate SLC (which faces a full coupon collection).
+    let plc = mk(Persistence::Coding(Scheme::Plc));
+    assert!(
+        plc.summaries[n + 2].mean > slc.summaries[n + 2].mean,
+        "PLC should beat degenerate SLC just past N"
+    );
+}
+
+/// Sec. 6: Growth Codes "treat all data equivalently ... unimportant
+/// data may be recovered at the expense of failing to recover important
+/// data" — under equal block budgets below N, priority coding recovers
+/// the critical level far more often.
+#[test]
+fn growth_codes_are_priority_blind() {
+    let profile = PriorityProfile::new(vec![4, 28]).unwrap();
+    // A designed distribution protecting level 1.
+    let dist = PriorityDistribution::from_weights(vec![0.5, 0.5]).unwrap();
+    let m = 16; // half of N = 32
+    let mk = |p: Persistence| {
+        simulate_decoding_curve::<Gf256>(&CurveConfig {
+            persistence: p,
+            profile: profile.clone(),
+            distribution: dist.clone(),
+            max_blocks: m,
+            runs: 60,
+            seed: 3,
+        })
+        .summaries[m]
+            .mean
+    };
+    let plc = mk(Persistence::Coding(Scheme::Plc));
+    let growth = mk(Persistence::Growth);
+    assert!(
+        plc > growth + 0.3,
+        "PLC ({plc}) should protect level 1 far better than Growth Codes ({growth})"
+    );
+}
+
+/// Sec. 5.3 / Fig. 7 narrative: "in comparison with RLC, which requires
+/// at least 500 coded blocks to decode any source block, PLC can decode
+/// the first level with only 130 coded blocks" — scaled down 10x here.
+#[test]
+fn designed_distribution_beats_rlc_waiting_time() {
+    let profile = PriorityProfile::new(vec![5, 10, 35]).unwrap();
+    let dist = PriorityDistribution::from_weights(vec![0.5138, 0.0768, 0.4094]).unwrap();
+    let curve = simulate_decoding_curve::<Gf256>(&CurveConfig {
+        persistence: Persistence::Coding(Scheme::Plc),
+        profile,
+        distribution: dist,
+        max_blocks: 50,
+        runs: 60,
+        seed: 13,
+    });
+    // Paper scale: level 1 at 130/500 blocks; here 13/50. At a tenth of
+    // the paper's N the binomial concentration is weaker, so the knee is
+    // softer — require most of level 1 by 13 blocks and all of it
+    // shortly after.
+    assert!(
+        curve.summaries[13].mean >= 0.7,
+        "level 1 not decoded by 13 blocks: {}",
+        curve.summaries[13].mean
+    );
+    assert!(
+        curve.summaries[20].mean >= 0.95,
+        "level 1 not decoded by 20 blocks: {}",
+        curve.summaries[20].mean
+    );
+    // RLC equivalent would be 0 until 50.
+    assert!(curve.summaries[49].mean > 0.9);
+}
+
+/// Sec. 4: sparse dissemination with O(ln N) fanout still decodes — the
+/// Dimakis result both SLC and PLC inherit.
+#[test]
+fn sparse_encoding_still_decodes() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let profile = PriorityProfile::uniform(3, 20).unwrap();
+    let n = profile.total_blocks();
+    let enc = Encoder::sparse(Scheme::Plc, profile.clone(), 3.0);
+    let dist = PriorityDistribution::uniform(3);
+    let mut dec: PlcDecoder<Gf256, ()> = PlcDecoder::coefficients_only(profile);
+    let mut processed = 0;
+    while !dec.is_complete() && processed < 20 * n {
+        let level = dist.sample_level(&mut rng);
+        dec.insert_block(&enc.encode_unpayloaded::<Gf256, _>(level, &mut rng));
+        processed += 1;
+    }
+    assert!(dec.is_complete(), "sparse PLC failed to decode");
+    assert!(
+        processed < 4 * n,
+        "sparse decode needed {processed} blocks for N = {n}"
+    );
+}

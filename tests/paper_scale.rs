@@ -1,0 +1,82 @@
+//! Paper-scale smoke tests (N = 1000, the Sec. 5.1 setting): one full
+//! decode per scheme at the sizes the paper's evaluation uses. The
+//! GF(2^8) product-table `axpy` keeps each under a second in release
+//! mode.
+
+use prlc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn full_decode(scheme: Scheme, levels: usize, per_level: usize, seed: u64) -> usize {
+    let profile = PriorityProfile::uniform(levels, per_level).unwrap();
+    let n = profile.total_blocks();
+    let dist = PriorityDistribution::uniform(levels);
+    let enc = Encoder::new(scheme, profile.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut processed = 0usize;
+    match scheme {
+        Scheme::Slc => {
+            let mut dec: SlcDecoder<Gf256, ()> = SlcDecoder::coefficients_only(profile);
+            while !dec.is_complete() {
+                let level = dist.sample_level(&mut rng);
+                dec.insert_block(&enc.encode_unpayloaded::<Gf256, _>(level, &mut rng));
+                processed += 1;
+                assert!(processed < 30 * n, "{scheme} did not converge");
+            }
+        }
+        _ => {
+            let mut dec: PlcDecoder<Gf256, ()> = PlcDecoder::coefficients_only(profile);
+            while !dec.is_complete() {
+                let level = dist.sample_level(&mut rng);
+                dec.insert_block(&enc.encode_unpayloaded::<Gf256, _>(level, &mut rng));
+                processed += 1;
+                assert!(processed < 30 * n, "{scheme} did not converge");
+            }
+        }
+    }
+    processed
+}
+
+#[test]
+fn plc_decodes_at_paper_scale() {
+    // 5 levels x 200 (Fig. 4a): completion lands near the analysis knee.
+    let m = full_decode(Scheme::Plc, 5, 200, 1);
+    assert!(
+        (1000..1600).contains(&m),
+        "PLC N=1000 completed at {m} blocks"
+    );
+}
+
+#[test]
+fn slc_needs_more_blocks_with_many_levels() {
+    // Fig. 6 at full scale: SLC with 50 levels needs far more than with 5.
+    let coarse = full_decode(Scheme::Slc, 5, 200, 2);
+    let fine = full_decode(Scheme::Slc, 50, 20, 3);
+    assert!(
+        fine > coarse + 300,
+        "coupon effect missing: 5-level {coarse} vs 50-level {fine}"
+    );
+}
+
+#[test]
+fn analysis_matches_simulation_at_paper_scale_spot_check() {
+    use prlc::analysis::{curves, AnalysisOptions};
+    let profile = PriorityProfile::uniform(5, 200).unwrap();
+    let dist = PriorityDistribution::uniform(5);
+    let opts = AnalysisOptions::sharp();
+    // One simulated trajectory, spot-checked at the knee against E(X).
+    let enc = Encoder::new(Scheme::Plc, profile.clone());
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut dec: PlcDecoder<Gf256, ()> = PlcDecoder::coefficients_only(profile.clone());
+    for _ in 0..1050 {
+        let level = dist.sample_level(&mut rng);
+        dec.insert_block(&enc.encode_unpayloaded::<Gf256, _>(level, &mut rng));
+    }
+    let analytic = curves::expected_levels(Scheme::Plc, &profile, &dist, 1050, &opts);
+    // A single run of an integer-valued variable: allow +-2 levels.
+    assert!(
+        (dec.decoded_levels() as f64 - analytic).abs() <= 2.0,
+        "sim {} vs E(X) {analytic}",
+        dec.decoded_levels()
+    );
+}
