@@ -3,11 +3,12 @@
 use serde::{Deserialize, Serialize};
 
 /// How decodability is modelled given per-level coded-block counts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum DecodabilityModel {
     /// The paper's large-field idealisation (footnote 1 of Sec. 3.3):
     /// a level (or prefix) decodes **iff** it has accumulated at least as
     /// many coded blocks as it has source blocks. Sharp 0/1 indicator.
+    #[default]
     Sharp,
     /// Refines the indicator with the probability that a random matrix
     /// over `GF(q)` actually reaches full column rank,
@@ -20,12 +21,6 @@ pub enum DecodabilityModel {
         /// The field size `q` (e.g. 256).
         q: f64,
     },
-}
-
-impl Default for DecodabilityModel {
-    fn default() -> Self {
-        DecodabilityModel::Sharp
-    }
 }
 
 /// Options for the analytical decoding curves.

@@ -1,8 +1,15 @@
 //! Criterion benchmarks for Galois-field arithmetic — the innermost
 //! loops of every encoder and decoder.
+//!
+//! The `gf_axpy`/`gf_scale`/`gf_mul_slice` groups run every available
+//! kernel backend (generic scalar, GF(2⁸) product table, SIMD where the
+//! CPU supports it) on the *same* inputs, plus the dispatched entry
+//! point, so one report compares them directly. The acceptance target
+//! for the kernel layer is dispatched GF(2⁸) axpy ≥2× the generic
+//! scalar backend on slices of 4 KiB and up.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use prlc_gf::{Gf16, Gf256, Gf64k, GfElem};
+use prlc_gf::{kernel, Gf16, Gf256, Gf64k, GfElem};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -43,17 +50,59 @@ fn bench_scalar_mul(c: &mut Criterion) {
     g.finish();
 }
 
+/// Slice sizes in field elements. 4096 is the acceptance size for the
+/// ≥2× dispatched-vs-scalar target; 65536 shows the asymptote.
+const AXPY_LENS: [usize; 4] = [256, 1024, 4096, 65536];
+
 fn bench_axpy(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let mut g = c.benchmark_group("gf_axpy");
-    for len in [256usize, 1024, 4096] {
+    for len in AXPY_LENS {
         let src: Vec<Gf256> = (0..len).map(|_| Gf256::random(&mut rng)).collect();
         let mut dst: Vec<Gf256> = (0..len).map(|_| Gf256::random(&mut rng)).collect();
         let coeff = Gf256::from_index(0xA7);
         g.throughput(Throughput::Bytes(len as u64));
-        g.bench_function(format!("gf256_axpy_{len}"), |b| {
-            b.iter(|| Gf256::axpy(black_box(&mut dst), coeff, black_box(&src)))
+        // Same inputs for every backend, so rows compare directly.
+        for backend in kernel::available_backends() {
+            g.bench_function(format!("gf256_axpy_{len}_{backend}"), |b| {
+                b.iter(|| kernel::axpy_with(backend, black_box(&mut dst), coeff, black_box(&src)))
+            });
+        }
+        g.bench_function(format!("gf256_axpy_{len}_dispatched"), |b| {
+            b.iter(|| kernel::axpy(black_box(&mut dst), coeff, black_box(&src)))
         });
+    }
+    g.finish();
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut g = c.benchmark_group("gf_scale");
+    for len in [1024usize, 4096] {
+        let mut dst: Vec<Gf256> = (0..len).map(|_| Gf256::random(&mut rng)).collect();
+        let coeff = Gf256::from_index(0xA7);
+        g.throughput(Throughput::Bytes(len as u64));
+        for backend in kernel::available_backends() {
+            g.bench_function(format!("gf256_scale_{len}_{backend}"), |b| {
+                b.iter(|| kernel::scale_slice_with(backend, black_box(&mut dst), coeff))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_mul_slice(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut g = c.benchmark_group("gf_mul_slice");
+    for len in [1024usize, 4096] {
+        let src: Vec<Gf256> = (0..len).map(|_| Gf256::random_nonzero(&mut rng)).collect();
+        let mut dst: Vec<Gf256> = (0..len).map(|_| Gf256::random(&mut rng)).collect();
+        g.throughput(Throughput::Bytes(len as u64));
+        for backend in kernel::available_backends() {
+            g.bench_function(format!("gf256_mul_slice_{len}_{backend}"), |b| {
+                b.iter(|| kernel::mul_slice_with(backend, black_box(&mut dst), black_box(&src)))
+            });
+        }
     }
     g.finish();
 }
@@ -72,5 +121,12 @@ fn bench_inv(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_scalar_mul, bench_axpy, bench_inv);
+criterion_group!(
+    benches,
+    bench_scalar_mul,
+    bench_axpy,
+    bench_scale,
+    bench_mul_slice,
+    bench_inv
+);
 criterion_main!(benches);

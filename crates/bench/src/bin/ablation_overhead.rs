@@ -44,9 +44,7 @@ fn main() {
     for (name, dist) in &dists {
         for scheme in [Scheme::Slc, Scheme::Plc] {
             eprintln!("[ablation_overhead] budgets: {name} / {scheme} ...");
-            let fmt_m = |m: Option<usize>| -> String {
-                m.map_or("-".into(), |v| v.to_string())
-            };
+            let fmt_m = |m: Option<usize>| -> String { m.map_or("-".into(), |v| v.to_string()) };
             budget.push_row([
                 name.to_string(),
                 scheme.to_string(),
@@ -79,9 +77,7 @@ fn main() {
         for mult in [1.5f64, 2.0, 3.0] {
             eprintln!("[ablation_overhead] survivable loss: {name} x{mult} ...");
             let stored = (mult * n as f64) as usize;
-            let fmt_l = |l: Option<f64>| -> String {
-                l.map_or("-".into(), |v| fmt_f(v, 3))
-            };
+            let fmt_l = |l: Option<f64>| -> String { l.map_or("-".into(), |v| fmt_f(v, 3)) };
             surv.push_row([
                 name.to_string(),
                 format!("{stored} ({mult}N)"),

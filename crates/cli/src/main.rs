@@ -4,7 +4,12 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use prlc_cli::{decode, encode, info, DecodeOptions, EncodeOptions};
-use prlc_core::Scheme;
+use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
+use prlc_gf::{kernel, Gf256};
+use prlc_sim::{
+    fmt_f, runner, simulate_decoding_curve_with_threads, CurveConfig, Persistence, RunMetadata,
+    Table,
+};
 
 const USAGE: &str = "\
 prlc — priority random linear codes for files (ICDCS 2007 reproduction)
@@ -14,11 +19,21 @@ USAGE:
               [--overhead X] [--scheme rlc|slc|plc] [--seed S]
   prlc decode <DIR> --out <FILE> [--allow-partial]
   prlc info <DIR>
+  prlc sim [--scheme rlc|slc|plc|replication|growth] [--levels a,b,c]
+           [--max-blocks M] [--runs R] [--seed S] [--threads T]
+           [--bench-out FILE]
 
 The encoder splits FILE into priority levels (leading bytes = most
 important), generates overhead·N coded shards, and writes them plus a
 manifest into DIR. The decoder recovers the file from whatever shards
 remain — with --allow-partial it writes the longest decodable prefix.
+
+`sim` runs the in-memory decoding-curve experiment (paper Sec. 5) over
+GF(2⁸): decoded priority levels vs accumulated coded blocks, averaged
+over R runs with 95% confidence intervals. --threads defaults to the
+available parallelism; the run header reports the selected GF kernel
+backend and its measured symbol throughput. --bench-out writes the
+curve plus that run metadata as JSON (a BENCH_*.json artifact).
 ";
 
 fn main() -> ExitCode {
@@ -41,6 +56,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "encode" => cmd_encode(&args[1..]),
         "decode" => cmd_decode(&args[1..]),
         "info" => cmd_info(&args[1..]),
+        "sim" => cmd_sim(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -86,8 +102,18 @@ fn positional(args: &[String]) -> Option<&String> {
     None
 }
 
+/// The one-line run header shared by every subcommand that does field
+/// arithmetic: which GF kernel backend this process dispatched to.
+fn print_kernel_header(task: &str) {
+    println!(
+        "prlc {task} — kernel backend {}",
+        kernel::active_backend_description()
+    );
+}
+
 fn cmd_encode(args: &[String]) -> Result<(), String> {
     let input = positional(args).ok_or("encode: missing input file")?;
+    print_kernel_header("encode");
     let out = flag_value(args, "--out")?.ok_or("encode: missing --out DIR")?;
     let mut opts = EncodeOptions::default();
     if let Some(v) = flag_value(args, "--block-size")? {
@@ -123,6 +149,7 @@ fn cmd_encode(args: &[String]) -> Result<(), String> {
 fn cmd_decode(args: &[String]) -> Result<(), String> {
     let dir = positional(args).ok_or("decode: missing shard directory")?;
     let out = flag_value(args, "--out")?.ok_or("decode: missing --out FILE")?;
+    print_kernel_header("decode");
     let opts = DecodeOptions {
         allow_partial: has_flag(args, "--allow-partial"),
     };
@@ -182,6 +209,105 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
             "skipped     : {} corrupt/foreign files",
             report.shards_skipped
         );
+    }
+    Ok(())
+}
+
+fn cmd_sim(args: &[String]) -> Result<(), String> {
+    let persistence = match flag_value(args, "--scheme")?
+        .map(|s| s.to_ascii_lowercase())
+        .as_deref()
+    {
+        None | Some("plc") => Persistence::Coding(Scheme::Plc),
+        Some("rlc") => Persistence::Coding(Scheme::Rlc),
+        Some("slc") => Persistence::Coding(Scheme::Slc),
+        Some("replication") => Persistence::Replication,
+        Some("growth") => Persistence::Growth,
+        Some(_) => return Err("bad --scheme (rlc|slc|plc|replication|growth)".into()),
+    };
+    let level_sizes: Vec<usize> = match flag_value(args, "--levels")? {
+        Some(v) => v
+            .split(',')
+            .map(|s| s.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| "bad --levels (expect e.g. 2,3,5)")?,
+        None => vec![2, 3, 5],
+    };
+    let profile = PriorityProfile::new(level_sizes).map_err(|e| format!("bad --levels: {e}"))?;
+    let distribution = PriorityDistribution::uniform(profile.num_levels());
+    let max_blocks = match flag_value(args, "--max-blocks")? {
+        Some(v) => v.parse().map_err(|_| "bad --max-blocks")?,
+        None => 3 * profile.total_blocks(),
+    };
+    let runs = match flag_value(args, "--runs")? {
+        Some(v) => v.parse().map_err(|_| "bad --runs")?,
+        None => 100,
+    };
+    let seed = match flag_value(args, "--seed")? {
+        Some(v) => v.parse().map_err(|_| "bad --seed")?,
+        None => 1,
+    };
+    let threads = match flag_value(args, "--threads")? {
+        Some(v) => {
+            let t: usize = v.parse().map_err(|_| "bad --threads")?;
+            if t == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            t
+        }
+        None => runner::default_threads(),
+    };
+
+    // Run header: environment first, so perf numbers in the output are
+    // attributable to a backend and worker count.
+    let meta = RunMetadata::collect(threads);
+    println!(
+        "prlc sim — kernel backend {}, {} threads, {} MB/s symbol throughput",
+        meta.kernel_backend,
+        meta.threads,
+        fmt_f(meta.symbol_throughput_mb_s, 0)
+    );
+    println!(
+        "scheme {persistence}, levels {:?}, {runs} runs, seed {seed}",
+        (0..profile.num_levels())
+            .map(|l| profile.blocks_of(l).count())
+            .collect::<Vec<_>>()
+    );
+
+    let cfg = CurveConfig {
+        persistence,
+        profile,
+        distribution,
+        max_blocks,
+        runs,
+        seed,
+    };
+    let curve = simulate_decoding_curve_with_threads::<Gf256>(&cfg, threads);
+
+    let mut table = Table::new(["blocks", "levels", "ci95"]);
+    let step = (max_blocks / 20).max(1);
+    for m in (0..=max_blocks).step_by(step) {
+        let s = curve.summaries[m];
+        table.push_row([m.to_string(), fmt_f(s.mean, 3), fmt_f(s.ci95, 3)]);
+    }
+    println!("{}", table.render());
+
+    if let Some(path) = flag_value(args, "--bench-out")? {
+        let results: Vec<String> = curve
+            .summaries
+            .iter()
+            .enumerate()
+            .map(|(m, s)| {
+                format!(
+                    "{{\"blocks\":{m},\"mean\":{:.6},\"ci95\":{:.6}}}",
+                    s.mean, s.ci95
+                )
+            })
+            .collect();
+        let json = format!("[{}]", results.join(","));
+        meta.write_bench_json(std::path::Path::new(&path), &json)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote curve + run metadata to {path}");
     }
     Ok(())
 }

@@ -1,6 +1,6 @@
 //! Encoders for RLC, SLC and PLC coded blocks.
 
-use prlc_gf::GfElem;
+use prlc_gf::{kernel, GfElem};
 use rand::seq::index::sample;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -148,7 +148,7 @@ impl Encoder {
         let mut payload = vec![F::ZERO; blk_len];
         for (c, s) in coefficients.iter().zip(sources) {
             if !c.is_zero() {
-                F::axpy(&mut payload, *c, s);
+                kernel::axpy(&mut payload, *c, s);
             }
         }
         CodedBlock {

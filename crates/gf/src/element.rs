@@ -53,6 +53,12 @@ pub trait GfElem:
     const ZERO: Self;
     /// The multiplicative identity.
     const ONE: Self;
+    /// Whether [`GfElem::gf_add`] is exactly XOR of the in-memory
+    /// representation *and* the set of valid representations is closed
+    /// under XOR. When `true`, [`crate::kernel`] may perform addition
+    /// word-at-a-time over the raw byte plane of a symbol slice.
+    /// Defaults to `false` so external implementors opt in explicitly.
+    const REPR_XOR: bool = false;
 
     /// Constructs the element whose binary representation is `v`.
     ///
@@ -102,52 +108,48 @@ pub trait GfElem:
     }
 
     /// `dst[i] += c * src[i]` for all `i` — the inner loop of Gaussian and
-    /// Gauss–Jordan elimination.
+    /// Gauss–Jordan elimination. Dispatches through [`crate::kernel`].
     ///
     /// # Panics
     ///
     /// Panics if the slices have different lengths.
     fn axpy(dst: &mut [Self], c: Self, src: &[Self]) {
-        assert_eq!(dst.len(), src.len(), "axpy length mismatch");
-        if c.is_zero() {
-            return;
-        }
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d = d.gf_add(c.gf_mul(*s));
-        }
+        crate::kernel::axpy(dst, c, src);
     }
 
-    /// `dst[i] *= c` for all `i`.
+    /// `dst[i] *= c` for all `i`. Dispatches through [`crate::kernel`].
     fn scale_slice(dst: &mut [Self], c: Self) {
-        for d in dst.iter_mut() {
-            *d = d.gf_mul(c);
-        }
+        crate::kernel::scale_slice(dst, c);
     }
 
-    /// `dst[i] += src[i]` for all `i`.
+    /// `dst[i] += src[i]` for all `i`. Dispatches through
+    /// [`crate::kernel`].
     ///
     /// # Panics
     ///
     /// Panics if the slices have different lengths.
     fn add_slice(dst: &mut [Self], src: &[Self]) {
-        assert_eq!(dst.len(), src.len(), "add_slice length mismatch");
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d = d.gf_add(*s);
-        }
+        crate::kernel::add_slice(dst, src);
     }
 
-    /// Dot product `sum_i a[i] * b[i]`.
+    /// Elementwise product `dst[i] *= src[i]` for all `i`. Dispatches
+    /// through [`crate::kernel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    fn mul_slice(dst: &mut [Self], src: &[Self]) {
+        crate::kernel::mul_slice(dst, src);
+    }
+
+    /// Dot product `sum_i a[i] * b[i]`. Dispatches through
+    /// [`crate::kernel`].
     ///
     /// # Panics
     ///
     /// Panics if the slices have different lengths.
     fn dot(a: &[Self], b: &[Self]) -> Self {
-        assert_eq!(a.len(), b.len(), "dot length mismatch");
-        let mut acc = Self::ZERO;
-        for (x, y) in a.iter().zip(b) {
-            acc = acc.gf_add(x.gf_mul(*y));
-        }
-        acc
+        crate::kernel::dot(a, b)
     }
 }
 
@@ -159,6 +161,7 @@ macro_rules! gf_type {
     ) => {
         $(#[$meta])*
         #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        #[repr(transparent)]
         pub struct $name($repr);
 
         fn $tables_fn() -> &'static GfTables {
@@ -186,6 +189,9 @@ macro_rules! gf_type {
             const BITS: u32 = $bits;
             const ZERO: Self = $name(0);
             const ONE: Self = $name(1);
+            // Addition is XOR of the raw repr, and XOR of two valid
+            // representations stays below `ORDER`.
+            const REPR_XOR: bool = true;
 
             #[inline]
             fn from_index(v: usize) -> Self {
@@ -339,31 +345,14 @@ gf_type!(
 
 gf_type!(
     /// An element of GF(2⁸) = GF(2)\[x\]/(x⁸+x⁴+x³+x²+1) — the field used
-    /// throughout the paper's evaluation.
+    /// throughout the paper's evaluation. Its bulk slice operations hit
+    /// the table/SIMD fast paths inside [`crate::kernel`].
     Gf256,
     u8,
     8,
     POLY_GF256,
     gf256_tables,
-    overrides {
-        // Specialised bulk operations routed through the 64 KiB product
-        // table: one load + one XOR per byte in the Gauss–Jordan hot loop.
-        #[inline]
-        fn axpy(dst: &mut [Self], c: Self, src: &[Self]) {
-            Gf256::axpy_fast(dst, c, src);
-        }
-
-        #[inline]
-        fn scale_slice(dst: &mut [Self], c: Self) {
-            if c == Gf256::ONE {
-                return;
-            }
-            let row = mul256_table().row(c.raw());
-            for d in dst.iter_mut() {
-                *d = Gf256::new(row[d.raw() as usize]);
-            }
-        }
-    }
+    overrides {}
 );
 
 gf_type!(
@@ -381,6 +370,12 @@ fn mul256_table() -> &'static Mul256Table {
     TABLE.get_or_init(|| Mul256Table::build(gf256_tables()))
 }
 
+/// The 64 KiB GF(2⁸) product table, shared with [`crate::kernel`] (which
+/// builds its table-backend and SIMD nibble tables from its rows).
+pub(crate) fn gf256_product_table() -> &'static Mul256Table {
+    mul256_table()
+}
+
 impl Gf256 {
     /// The full 256-entry product row `{self * v : v in 0..256}`.
     ///
@@ -389,26 +384,6 @@ impl Gf256 {
     #[inline]
     pub fn mul_row(self) -> &'static [u8; 256] {
         mul256_table().row(self.0)
-    }
-
-    /// Overridden bulk `axpy` specialised to the 64 KiB product table:
-    /// one load + one XOR per byte.
-    #[inline]
-    fn axpy_fast(dst: &mut [Gf256], c: Gf256, src: &[Gf256]) {
-        assert_eq!(dst.len(), src.len(), "axpy length mismatch");
-        if c.is_zero() {
-            return;
-        }
-        if c == Gf256::ONE {
-            for (d, s) in dst.iter_mut().zip(src) {
-                d.0 ^= s.0;
-            }
-            return;
-        }
-        let row = mul256_table().row(c.0);
-        for (d, s) in dst.iter_mut().zip(src) {
-            d.0 ^= row[s.0 as usize];
-        }
     }
 }
 
@@ -457,7 +432,7 @@ mod tests {
     }
 
     #[test]
-    fn axpy_fast_matches_generic_for_gf256() {
+    fn dispatched_axpy_matches_generic_formula_for_gf256() {
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..50 {
             let n = rng.gen_range(0..100);
@@ -479,7 +454,7 @@ mod tests {
     #[test]
     fn trait_axpy_uses_fast_path_for_gf256() {
         // The trait method must agree with the slow formula (it routes
-        // through the shadowed fast implementation).
+        // through the dispatched kernel backend).
         let mut rng = StdRng::seed_from_u64(43);
         let src: Vec<Gf256> = (0..64).map(|_| Gf256::random(&mut rng)).collect();
         let mut dst: Vec<Gf256> = (0..64).map(|_| Gf256::random(&mut rng)).collect();

@@ -1,7 +1,9 @@
-//! Property-based tests for the field axioms on all three fields.
+//! Property-based tests for the field axioms on all three fields, and
+//! for the equivalence of every [`crate::kernel`] backend.
 
 use proptest::prelude::*;
 
+use crate::kernel::{self, Backend};
 use crate::{Gf16, Gf256, Gf64k, GfElem};
 
 macro_rules! field_axiom_tests {
@@ -92,6 +94,109 @@ macro_rules! field_axiom_tests {
 field_axiom_tests!(gf16, Gf16);
 field_axiom_tests!(gf256, Gf256);
 field_axiom_tests!(gf64k, Gf64k);
+
+/// Every available kernel backend must produce bit-identical results to
+/// the generic scalar backend, on every field and at every slice length —
+/// in particular at the SIMD kernels' edge cases: empty slices, a single
+/// element, and lengths that are not a multiple of the 16/32-byte lane
+/// width. Each generated case is additionally checked on a set of fixed
+/// edge-length prefixes so those lengths are exercised on *every* run,
+/// not just when the generator happens to produce them.
+macro_rules! backend_equiv_tests {
+    ($modname:ident, $ty:ty) => {
+        mod $modname {
+            use super::*;
+
+            fn elem() -> impl Strategy<Value = $ty> {
+                (0..<$ty as GfElem>::ORDER).prop_map(<$ty>::from_index)
+            }
+
+            /// Prefix lengths to check: kernel edge cases plus the full
+            /// generated slice.
+            fn prefixes(len: usize) -> Vec<usize> {
+                let mut ls: Vec<usize> = [0usize, 1, 15, 17, 33, len]
+                    .into_iter()
+                    .filter(|&l| l <= len)
+                    .collect();
+                ls.sort_unstable();
+                ls.dedup();
+                ls
+            }
+
+            proptest! {
+                #[test]
+                fn axpy_identical_across_backends(
+                    c in elem(),
+                    data in prop::collection::vec((elem(), elem()), 0..130)
+                ) {
+                    let dst: Vec<$ty> = data.iter().map(|&(d, _)| d).collect();
+                    let src: Vec<$ty> = data.iter().map(|&(_, s)| s).collect();
+                    for n in prefixes(data.len()) {
+                        let mut reference = dst[..n].to_vec();
+                        kernel::axpy_with(Backend::Scalar, &mut reference, c, &src[..n]);
+                        for backend in kernel::available_backends() {
+                            let mut out = dst[..n].to_vec();
+                            kernel::axpy_with(backend, &mut out, c, &src[..n]);
+                            prop_assert_eq!(&out, &reference, "{} len {}", backend, n);
+                        }
+                    }
+                }
+
+                #[test]
+                fn scale_slice_identical_across_backends(
+                    c in elem(),
+                    data in prop::collection::vec(elem(), 0..130)
+                ) {
+                    for n in prefixes(data.len()) {
+                        let mut reference = data[..n].to_vec();
+                        kernel::scale_slice_with(Backend::Scalar, &mut reference, c);
+                        for backend in kernel::available_backends() {
+                            let mut out = data[..n].to_vec();
+                            kernel::scale_slice_with(backend, &mut out, c);
+                            prop_assert_eq!(&out, &reference, "{} len {}", backend, n);
+                        }
+                    }
+                }
+
+                #[test]
+                fn mul_slice_identical_across_backends(
+                    data in prop::collection::vec((elem(), elem()), 0..130)
+                ) {
+                    let dst: Vec<$ty> = data.iter().map(|&(d, _)| d).collect();
+                    let src: Vec<$ty> = data.iter().map(|&(_, s)| s).collect();
+                    for n in prefixes(data.len()) {
+                        let mut reference = dst[..n].to_vec();
+                        kernel::mul_slice_with(Backend::Scalar, &mut reference, &src[..n]);
+                        for backend in kernel::available_backends() {
+                            let mut out = dst[..n].to_vec();
+                            kernel::mul_slice_with(backend, &mut out, &src[..n]);
+                            prop_assert_eq!(&out, &reference, "{} len {}", backend, n);
+                        }
+                    }
+                }
+
+                #[test]
+                fn dot_identical_across_backends(
+                    data in prop::collection::vec((elem(), elem()), 0..130)
+                ) {
+                    let a: Vec<$ty> = data.iter().map(|&(x, _)| x).collect();
+                    let b: Vec<$ty> = data.iter().map(|&(_, y)| y).collect();
+                    for n in prefixes(data.len()) {
+                        let reference = kernel::dot_with(Backend::Scalar, &a[..n], &b[..n]);
+                        for backend in kernel::available_backends() {
+                            let got = kernel::dot_with(backend, &a[..n], &b[..n]);
+                            prop_assert_eq!(got, reference, "{} len {}", backend, n);
+                        }
+                    }
+                }
+            }
+        }
+    };
+}
+
+backend_equiv_tests!(backend_equiv_gf16, Gf16);
+backend_equiv_tests!(backend_equiv_gf256, Gf256);
+backend_equiv_tests!(backend_equiv_gf64k, Gf64k);
 
 mod bulk_ops {
     use super::*;

@@ -57,11 +57,12 @@ pub fn rref<F: GfElem>(m: &Matrix<F>) -> RrefResult<F> {
         let inv = a[(pivot_row, col)]
             .gf_inv()
             .expect("pivot is nonzero by construction");
-        F::scale_slice(&mut a.row_mut(pivot_row)[col..], inv);
+        a.scale_row(pivot_row, inv, col);
 
         // Eliminate the pivot column from every other row (Gauss–Jordan:
-        // above *and* below, unlike plain Gaussian elimination).
-        let prow: Vec<F> = a.row(pivot_row)[col..].to_vec();
+        // above *and* below, unlike plain Gaussian elimination). The
+        // disjoint row-pair borrow lets the kernel read the pivot row in
+        // place — no per-pivot clone.
         for r in 0..rows {
             if r == pivot_row {
                 continue;
@@ -70,7 +71,7 @@ pub fn rref<F: GfElem>(m: &Matrix<F>) -> RrefResult<F> {
             if factor.is_zero() {
                 continue;
             }
-            F::axpy(&mut a.row_mut(r)[col..], factor, &prow);
+            a.row_axpy(r, factor, pivot_row, col);
         }
 
         pivot_cols.push(col);
@@ -136,7 +137,7 @@ pub fn solve<F: GfElem>(a: &Matrix<F>, b: &[F]) -> SolveOutcome<F> {
     let red = rref(&a.augment(&rhs));
 
     // A pivot in the augmented column means 0 = 1: inconsistent.
-    if red.pivot_cols.iter().any(|&c| c == n) {
+    if red.pivot_cols.contains(&n) {
         return SolveOutcome::Inconsistent;
     }
     if red.rank < n {

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::ops::{Index, IndexMut, Mul};
 
-use prlc_gf::GfElem;
+use prlc_gf::{kernel, GfElem};
 use rand::Rng;
 
 /// A dense `rows × cols` matrix over the field `F`.
@@ -120,6 +120,50 @@ impl<F: GfElem> Matrix<F> {
         top[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut bottom[..self.cols]);
     }
 
+    /// Disjoint mutable borrows of two *distinct* rows, in argument
+    /// order. This is the aliasing-safe primitive behind the row
+    /// arithmetic helpers ([`Matrix::row_axpy`]), obtained with
+    /// `split_at_mut` — no row is ever cloned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds or if `a == b`.
+    pub fn row_pair_mut(&mut self, a: usize, b: usize) -> (&mut [F], &mut [F]) {
+        assert!(a < self.rows && b < self.rows, "row index out of bounds");
+        assert_ne!(a, b, "row_pair_mut requires distinct rows");
+        let cols = self.cols;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (top, bottom) = self.data.split_at_mut(hi * cols);
+        let lo_row = &mut top[lo * cols..(lo + 1) * cols];
+        let hi_row = &mut bottom[..cols];
+        if a < b {
+            (lo_row, hi_row)
+        } else {
+            (hi_row, lo_row)
+        }
+    }
+
+    /// `row[dst][from_col..] += factor * row[src][from_col..]` through the
+    /// dispatched [`kernel`] — the elimination inner loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds, if `dst == src`, or if
+    /// `from_col > self.cols()`.
+    pub fn row_axpy(&mut self, dst: usize, factor: F, src: usize, from_col: usize) {
+        let (d, s) = self.row_pair_mut(dst, src);
+        kernel::axpy(&mut d[from_col..], factor, &s[from_col..]);
+    }
+
+    /// `row[r][from_col..] *= factor` through the dispatched [`kernel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds or `from_col > self.cols()`.
+    pub fn scale_row(&mut self, r: usize, factor: F, from_col: usize) {
+        kernel::scale_slice(&mut self.row_mut(r)[from_col..], factor);
+    }
+
     /// Appends the columns of `other` to the right of `self`
     /// (the augmented matrix `[self | other]`).
     ///
@@ -159,7 +203,9 @@ impl<F: GfElem> Matrix<F> {
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[F]) -> Vec<F> {
         assert_eq!(x.len(), self.cols, "mul_vec dimension mismatch");
-        (0..self.rows).map(|r| F::dot(self.row(r), x)).collect()
+        (0..self.rows)
+            .map(|r| kernel::dot(self.row(r), x))
+            .collect()
     }
 
     /// Number of nonzero entries.
@@ -252,11 +298,7 @@ impl<F: GfElem> Mul for &Matrix<F> {
                 if a.is_zero() {
                     continue;
                 }
-                let out_row_start = r * rhs.cols;
-                for c in 0..rhs.cols {
-                    let add = a.gf_mul(rhs[(k, c)]);
-                    out.data[out_row_start + c] = out.data[out_row_start + c].gf_add(add);
-                }
+                kernel::axpy(out.row_mut(r), a, rhs.row(k));
             }
         }
         out

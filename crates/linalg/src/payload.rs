@@ -7,7 +7,7 @@
 //! experiment only needs decodability, which roughly halves the cost of
 //! the large decoding-curve simulations.
 
-use prlc_gf::GfElem;
+use prlc_gf::{kernel, GfElem};
 
 /// Data carried alongside a coefficient row through elimination.
 ///
@@ -32,6 +32,12 @@ impl<F: GfElem> RowPayload<F> for () {
 
 /// A coded data block: a vector of field symbols.
 ///
+/// Both operations go straight to the dispatched [`kernel`]. Because the
+/// field element types are `repr(transparent)` wrappers over their
+/// integer representation, a `Vec<F>` payload *is* a contiguous byte
+/// plane — for GF(2⁸) the kernel views it as `&mut [u8]` at zero cost
+/// and runs the table/SIMD byte kernels directly on it.
+///
 /// # Panics
 ///
 /// `payload_axpy` panics if the two blocks have different lengths; all
@@ -39,12 +45,12 @@ impl<F: GfElem> RowPayload<F> for () {
 impl<F: GfElem> RowPayload<F> for Vec<F> {
     #[inline]
     fn payload_scale(&mut self, c: F) {
-        F::scale_slice(self, c);
+        kernel::scale_slice(self, c);
     }
 
     #[inline]
     fn payload_axpy(&mut self, other: &Self, c: F) {
-        F::axpy(self, c, other);
+        kernel::axpy(self, c, other);
     }
 }
 

@@ -25,10 +25,12 @@
 //!   operations touch only `pivot..support`;
 //! * the nonzero count per row is maintained incrementally so decoded
 //!   queries are O(1);
-//! * bulk operations route through [`GfElem::axpy`], which GF(2⁸)
-//!   specialises to a 64 KiB product-table loop.
+//! * bulk operations route through the dispatched
+//!   [`kernel`](prlc_gf::kernel) (product table or SIMD nibble-shuffle
+//!   for GF(2⁸), selected once at startup), and payloads are mirrored
+//!   through the same kernel calls over their contiguous symbol planes.
 
-use prlc_gf::GfElem;
+use prlc_gf::{kernel, GfElem};
 
 use crate::matrix::Matrix;
 use crate::payload::RowPayload;
@@ -195,7 +197,7 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
                     let prow = &self.rows[r];
                     let factor = coeffs[col];
                     let end = support.max(prow.support);
-                    F::axpy(&mut coeffs[col..end], factor, &prow.coeffs[col..end]);
+                    kernel::axpy(&mut coeffs[col..end], factor, &prow.coeffs[col..end]);
                     payload.payload_axpy(&prow.payload, factor);
                     support = end;
                     debug_assert!(coeffs[col].is_zero());
@@ -215,7 +217,7 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
 
         // Normalise the pivot to 1.
         let inv = coeffs[pc].gf_inv().expect("pivot entry is nonzero");
-        F::scale_slice(&mut coeffs[pc..support], inv);
+        kernel::scale_slice(&mut coeffs[pc..support], inv);
         payload.payload_scale(inv);
 
         // Back-eliminate column `pc` from every existing row that has a
@@ -229,7 +231,7 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
             let end = support.max(row.support);
             let region = &mut row.coeffs[pc..end];
             let before = count_nonzeros(region);
-            F::axpy(region, factor, &coeffs[pc..end]);
+            kernel::axpy(region, factor, &coeffs[pc..end]);
             let after = count_nonzeros(region);
             row.payload.payload_axpy(&payload, factor);
             row.support = end;

@@ -316,7 +316,7 @@ pub fn predistribute<N: Network, F: GfElem, R: Rng + ?Sized>(
     let counts = cfg.distribution.allocate(cfg.locations);
     let mut slot_level = Vec::with_capacity(cfg.locations);
     for (level, &c) in counts.iter().enumerate() {
-        slot_level.extend(std::iter::repeat(level).take(c));
+        slot_level.extend(std::iter::repeat_n(level, c));
     }
     let mut slots: Vec<StorageSlot<F>> = owners
         .iter()

@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::runner::run_parallel;
+use crate::runner::{default_threads, run_parallel_with_threads};
 use crate::stats::{summarize_trajectories, Summary};
 
 /// Which persistence scheme an experiment exercises: one of the paper's
@@ -87,9 +87,19 @@ impl DecodingCurve {
     }
 }
 
-/// Runs the decoding-curve experiment over field `F`.
+/// Runs the decoding-curve experiment over field `F` with the runner's
+/// default worker count.
 pub fn simulate_decoding_curve<F: GfElem>(cfg: &CurveConfig) -> DecodingCurve {
-    let trajectories = run_parallel(cfg.runs, cfg.seed, |seed| {
+    simulate_decoding_curve_with_threads::<F>(cfg, default_threads())
+}
+
+/// [`simulate_decoding_curve`] with an explicit worker-thread count.
+/// Results are independent of `threads`.
+pub fn simulate_decoding_curve_with_threads<F: GfElem>(
+    cfg: &CurveConfig,
+    threads: usize,
+) -> DecodingCurve {
+    let trajectories = run_parallel_with_threads(cfg.runs, cfg.seed, threads, |seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         one_trajectory::<F>(cfg, &mut rng)
     });
@@ -175,13 +185,24 @@ pub struct SurvivabilityConfig {
     pub seed: u64,
 }
 
-/// Mean decoded levels (with CI) after destroying each failure fraction.
+/// Mean decoded levels (with CI) after destroying each failure fraction,
+/// using the runner's default worker count.
 pub fn simulate_survivability<F: GfElem>(
     cfg: &SurvivabilityConfig,
     loss_fractions: &[f64],
 ) -> Vec<Summary> {
+    simulate_survivability_with_threads::<F>(cfg, loss_fractions, default_threads())
+}
+
+/// [`simulate_survivability`] with an explicit worker-thread count.
+/// Results are independent of `threads`.
+pub fn simulate_survivability_with_threads<F: GfElem>(
+    cfg: &SurvivabilityConfig,
+    loss_fractions: &[f64],
+    threads: usize,
+) -> Vec<Summary> {
     let fractions = loss_fractions.to_vec();
-    let trajectories = run_parallel(cfg.runs, cfg.seed, move |seed| {
+    let trajectories = run_parallel_with_threads(cfg.runs, cfg.seed, threads, move |seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         fractions
             .iter()
@@ -326,6 +347,17 @@ mod tests {
         let picks = curve.at(&[0, 10, 30]);
         assert_eq!(picks.len(), 3);
         assert_eq!(picks[0].mean, 0.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let cfg = base_cfg(Persistence::Coding(Scheme::Plc));
+        let one = simulate_decoding_curve_with_threads::<Gf256>(&cfg, 1);
+        let four = simulate_decoding_curve_with_threads::<Gf256>(&cfg, 4);
+        for (x, y) in one.summaries.iter().zip(&four.summaries) {
+            assert_eq!(x.mean, y.mean);
+            assert_eq!(x.ci95, y.ci95);
+        }
     }
 
     #[test]

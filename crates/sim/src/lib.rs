@@ -9,6 +9,8 @@
 //! * [`stats`] — means and 95% confidence intervals ("the average and
 //!   the 95% confidence intervals from 100 independent experiments");
 //! * [`runner`] — seed-split, order-deterministic parallel execution;
+//! * [`metadata`] — run environment (kernel backend, threads, measured
+//!   symbol throughput) for `BENCH_*.json` artifacts;
 //! * [`table`] — aligned-text and CSV rendering of result series.
 //!
 //! # Example
@@ -37,16 +39,19 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod metadata;
 pub mod runner;
 pub mod stats;
 pub mod table;
 pub mod timeline;
 
 pub use experiments::{
-    growth_levels, simulate_decoding_curve, simulate_survivability, CurveConfig, DecodingCurve,
+    growth_levels, simulate_decoding_curve, simulate_decoding_curve_with_threads,
+    simulate_survivability, simulate_survivability_with_threads, CurveConfig, DecodingCurve,
     Persistence, SurvivabilityConfig,
 };
-pub use runner::{run_parallel, run_seed, splitmix64};
+pub use metadata::RunMetadata;
+pub use runner::{default_threads, run_parallel, run_parallel_with_threads, run_seed, splitmix64};
 pub use stats::{summarize, summarize_trajectories, Summary};
 pub use table::{fmt_f, Table};
 pub use timeline::{simulate_persistence_timeline, TimelineConfig};

@@ -1,0 +1,160 @@
+//! Run metadata: which kernel backend an experiment executed with, how
+//! many worker threads it used, and the measured GF(2⁸) symbol
+//! throughput — recorded alongside results so `BENCH_*.json` files
+//! capture the performance trajectory of the codebase, not just the
+//! statistical outputs.
+
+use std::io::Write;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use prlc_gf::{kernel, Gf256, GfElem};
+
+/// Environment metadata attached to an experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetadata {
+    /// The dispatched kernel backend, including the SIMD instruction set
+    /// when relevant — e.g. `"simd(avx2)"`, `"table"`, `"scalar"`.
+    pub kernel_backend: String,
+    /// Worker threads the runner executed with.
+    pub threads: usize,
+    /// Measured GF(2⁸) `axpy` throughput over 64 KiB symbol slices, in
+    /// MB/s (destination bytes written per second; 1 MB = 10⁶ bytes).
+    pub symbol_throughput_mb_s: f64,
+}
+
+impl RunMetadata {
+    /// Collects metadata for a run executing on `threads` workers:
+    /// queries the active kernel backend and measures symbol throughput.
+    pub fn collect(threads: usize) -> Self {
+        RunMetadata {
+            kernel_backend: kernel::active_backend_description(),
+            threads,
+            symbol_throughput_mb_s: measure_symbol_throughput_mb_s(),
+        }
+    }
+
+    /// Renders the metadata as a JSON object.
+    ///
+    /// Serialisation is hand-rolled: the workspace builds offline and the
+    /// fields are three scalars, so a serializer dependency buys nothing.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kernel_backend\":\"{}\",\"threads\":{},\"symbol_throughput_mb_s\":{:.1}}}",
+            escape_json(&self.kernel_backend),
+            self.threads,
+            self.symbol_throughput_mb_s
+        )
+    }
+
+    /// Writes `{"run_metadata": <self>, "results": <results_json>}` to
+    /// `path` — the envelope used by the `BENCH_*.json` artifacts.
+    /// `results_json` must already be valid JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_bench_json(&self, path: &Path, results_json: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(
+            f,
+            "{{\"run_metadata\":{},\"results\":{}}}",
+            self.to_json(),
+            results_json
+        )
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Measures the dispatched GF(2⁸) `axpy` throughput in MB/s on 64 KiB
+/// slices (the representative bulk size for payload mirroring).
+///
+/// Short and calibrated: one warm-up pass builds the field tables, then
+/// iterations are timed for roughly 20 ms.
+pub fn measure_symbol_throughput_mb_s() -> f64 {
+    const LEN: usize = 64 * 1024;
+    const BUDGET: Duration = Duration::from_millis(20);
+    let src: Vec<Gf256> = (0..LEN).map(|i| Gf256::new((i % 251) as u8)).collect();
+    let mut dst: Vec<Gf256> = (0..LEN).map(|i| Gf256::new((i % 241) as u8)).collect();
+    let c = Gf256::from_index(0x53);
+
+    // Warm-up: forces table construction out of the timed region.
+    kernel::axpy(&mut dst, c, &src);
+
+    let mut iters: u64 = 0;
+    let start = Instant::now();
+    loop {
+        kernel::axpy(&mut dst, c, &src);
+        iters += 1;
+        if start.elapsed() >= BUDGET {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    // Keep the result observable so the loop cannot be optimised away.
+    std::hint::black_box(&dst);
+    (iters as f64 * LEN as f64) / secs / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_reports_active_backend() {
+        let meta = RunMetadata::collect(4);
+        assert_eq!(meta.kernel_backend, kernel::active_backend_description());
+        assert_eq!(meta.threads, 4);
+        assert!(
+            meta.symbol_throughput_mb_s > 0.0,
+            "throughput {}",
+            meta.symbol_throughput_mb_s
+        );
+    }
+
+    #[test]
+    fn json_shape() {
+        let meta = RunMetadata {
+            kernel_backend: "table".into(),
+            threads: 8,
+            symbol_throughput_mb_s: 1234.56,
+        };
+        assert_eq!(
+            meta.to_json(),
+            "{\"kernel_backend\":\"table\",\"threads\":8,\"symbol_throughput_mb_s\":1234.6}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("\n"), "\\u000a");
+    }
+
+    #[test]
+    fn bench_json_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("prlc-meta-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let meta = RunMetadata {
+            kernel_backend: "scalar".into(),
+            threads: 1,
+            symbol_throughput_mb_s: 10.0,
+        };
+        meta.write_bench_json(&path, "[1,2,3]").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"run_metadata\":{\"kernel_backend\":\"scalar\""));
+        assert!(text.contains("\"results\":[1,2,3]"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

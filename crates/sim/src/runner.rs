@@ -2,12 +2,13 @@
 //!
 //! Every experiment is a pure function of a 64-bit seed. The runner
 //! splits a base seed into per-run seeds with SplitMix64 (so run `i` is
-//! reproducible in isolation), executes runs across the available cores
-//! with crossbeam scoped threads, and returns results in run order —
+//! reproducible in isolation), executes runs across a configurable
+//! number of std scoped threads, and returns results in run order —
 //! identical output regardless of thread count.
 
-use parking_lot::Mutex;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// SplitMix64: the standard seed-splitting mix (Steele et al.), used to
 /// derive independent per-run seeds from a base seed.
@@ -23,8 +24,27 @@ pub fn run_seed(base_seed: u64, index: usize) -> u64 {
     splitmix64(base_seed ^ splitmix64(index as u64 + 1))
 }
 
+/// The runner's default worker count: the `PRLC_THREADS` environment
+/// variable if set to a positive integer, otherwise
+/// `available_parallelism`.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("PRLC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Executes `runs` independent experiments in parallel and returns their
 /// results in run order. `f` receives the run's derived seed.
+///
+/// Worker count comes from [`default_threads`]; use
+/// [`run_parallel_with_threads`] to pin it explicitly.
 ///
 /// # Panics
 ///
@@ -34,36 +54,47 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
+    run_parallel_with_threads(runs, base_seed, default_threads(), f)
+}
+
+/// [`run_parallel`] with an explicit worker-thread count (clamped to at
+/// least 1 and at most `runs`). Results are independent of `threads`.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn run_parallel_with_threads<T, F>(runs: usize, base_seed: u64, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
     if runs == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(runs);
+    let threads = threads.clamp(1, runs);
 
     if threads <= 1 {
         return (0..runs).map(|i| f(run_seed(base_seed, i))).collect();
     }
 
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..runs).map(|_| None).collect());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= runs {
                     break;
                 }
                 let out = f(run_seed(base_seed, i));
-                results.lock()[i] = Some(out);
+                results.lock().expect("runner mutex poisoned")[i] = Some(out);
             });
         }
-    })
-    .expect("experiment thread panicked");
+    });
 
     results
         .into_inner()
+        .expect("runner mutex poisoned")
         .into_iter()
         .map(|r| r.expect("every run index was claimed"))
         .collect()

@@ -1,0 +1,270 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `Throughput`, `black_box` and the `criterion_group!`/
+//! `criterion_main!` macros — backed by a simple calibrated wall-clock
+//! measurement loop with a text report (median of sample means, plus
+//! throughput when declared). No HTML reports, no statistics beyond
+//! median-of-means; good enough to compare kernel backends and catch
+//! order-of-magnitude regressions offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput declaration for a benchmark group: scales the report into
+/// elements/s or MB/s.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` drains per measurement batch.
+/// The shim re-runs setup per iteration regardless; the variants exist
+/// for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measurement settings (shared by `Criterion` and groups).
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    /// Wall-clock budget per benchmark.
+    measure_time: Duration,
+    /// Number of samples the budget is split into.
+    samples: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            measure_time: Duration::from_millis(300),
+            samples: 10,
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.settings, None, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the amount of work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sample count is fixed
+    /// by its measurement loop.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.criterion.settings, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Hands the measurement loop to the benchmark closure.
+pub struct Bencher {
+    /// Iterations to run in the current sample.
+    iters: u64,
+    /// Measured time of the current sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Calibrate: grow the iteration count until one sample costs at
+    // least ~1/samples of the budget.
+    let target_sample = settings.measure_time / settings.samples as u32;
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= target_sample || iters >= 1 << 30 {
+            break;
+        }
+        // Aim directly for the target with one refinement pass.
+        let measured = b.elapsed.as_nanos().max(1) as u64;
+        let want = target_sample.as_nanos() as u64;
+        iters = (iters * want / measured).clamp(iters + 1, iters.saturating_mul(1024));
+    }
+
+    let mut sample_means: Vec<f64> = (0..settings.samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    sample_means.sort_by(|a, b| a.total_cmp(b));
+    let median = sample_means[sample_means.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbs = n as f64 / median * 1e9 / (1024.0 * 1024.0);
+            format!("  {mbs:>10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / median * 1e9;
+            format!("  {eps:>10.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("{name:<40} {:>12.1} ns/iter{rate}", median);
+}
+
+/// Declares a benchmark entry point running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a set of benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; a filter
+            // argument (as in `cargo bench -- axpy`) is not supported by
+            // the shim and is ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            settings: Settings {
+                measure_time: Duration::from_millis(10),
+                samples: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = quick();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_with_throughput_and_batched() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("iter", |b| b.iter(|| black_box(2 + 2)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derives and declares the two marker traits so
+//! `use serde::{Deserialize, Serialize}` keeps compiling. No code in
+//! the workspace serializes through serde (hand-rolled formats only),
+//! so the traits carry no methods.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
