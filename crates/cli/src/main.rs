@@ -7,8 +7,9 @@ use prlc_cli::{decode, encode, info, DecodeOptions, EncodeOptions};
 use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
 use prlc_gf::{kernel, Gf256};
 use prlc_sim::{
-    fmt_f, runner, simulate_decoding_curve_with_threads, CurveConfig, Persistence, RunMetadata,
-    Table,
+    fmt_f, persistence_under_lossy_collection_with_threads, runner,
+    simulate_decoding_curve_with_threads, CurveConfig, LossyCollectionConfig, Persistence,
+    RunMetadata, Table,
 };
 
 const USAGE: &str = "\
@@ -21,6 +22,7 @@ USAGE:
   prlc info <DIR>
   prlc sim [--scheme rlc|slc|plc|replication|growth] [--levels a,b,c]
            [--max-blocks M] [--runs R] [--seed S] [--threads T]
+           [--loss p1,p2,...] [--retries r1,r2,...]
            [--bench-out FILE]
 
 The encoder splits FILE into priority levels (leading bytes = most
@@ -34,6 +36,13 @@ over R runs with 95% confidence intervals. --threads defaults to the
 available parallelism; the run header reports the selected GF kernel
 backend and its measured symbol throughput. --bench-out writes the
 curve plus that run metadata as JSON (a BENCH_*.json artifact).
+
+With --loss and/or --retries, `sim` instead sweeps collection over a
+fault-injected transport (coding schemes only): blocks are stored on a
+ring overlay, a node-failure event strikes, then a collector gathers
+the survivors while each per-node query is dropped with probability
+--loss and retried up to --retries times. Both flags take
+comma-separated lists and form a grid.
 ";
 
 fn main() -> ExitCode {
@@ -274,6 +283,23 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
             .collect::<Vec<_>>()
     );
 
+    let losses = flag_value(args, "--loss")?;
+    let retries = flag_value(args, "--retries")?;
+    if losses.is_some() || retries.is_some() {
+        return cmd_sim_lossy(
+            args,
+            persistence,
+            profile,
+            distribution,
+            runs,
+            seed,
+            threads,
+            &meta,
+            losses.as_deref(),
+            retries.as_deref(),
+        );
+    }
+
     let cfg = CurveConfig {
         persistence,
         profile,
@@ -308,6 +334,97 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         meta.write_bench_json(std::path::Path::new(&path), &json)
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote curve + run metadata to {path}");
+    }
+    Ok(())
+}
+
+/// The `sim --loss/--retries` path: collection over a fault-injected
+/// transport, swept across the loss × retry-budget grid.
+#[allow(clippy::too_many_arguments)]
+fn cmd_sim_lossy(
+    args: &[String],
+    persistence: Persistence,
+    profile: PriorityProfile,
+    distribution: PriorityDistribution,
+    runs: usize,
+    seed: u64,
+    threads: usize,
+    meta: &RunMetadata,
+    losses: Option<&str>,
+    retries: Option<&str>,
+) -> Result<(), String> {
+    let Persistence::Coding(scheme) = persistence else {
+        return Err("--loss/--retries need a coding scheme (rlc|slc|plc): the \
+                    baselines have no networked collection path"
+            .into());
+    };
+    let losses: Vec<f64> = match losses {
+        Some(v) => v
+            .split(',')
+            .map(|s| s.trim().parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| "bad --loss (expect e.g. 0,0.2,0.5)")?,
+        None => vec![0.0, 0.1, 0.3, 0.5],
+    };
+    if losses.iter().any(|p| !(0.0..=1.0).contains(p)) {
+        return Err("--loss rates must be in [0,1]".into());
+    }
+    let retry_budgets: Vec<usize> = match retries {
+        Some(v) => v
+            .split(',')
+            .map(|s| s.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| "bad --retries (expect e.g. 0,1,3)")?,
+        None => vec![0, 1, 3],
+    };
+    if losses.is_empty() || retry_budgets.is_empty() {
+        return Err("--loss and --retries need at least one value each".into());
+    }
+
+    let nodes = 4 * profile.total_blocks().max(20);
+    let cfg = LossyCollectionConfig {
+        scheme,
+        profile,
+        distribution,
+        nodes,
+        locations: nodes / 2,
+        node_failure: 0.3,
+        backoff_hops: 1,
+        runs,
+        seed,
+    };
+    println!(
+        "lossy collection: {} nodes, {} locations, 30% node failure",
+        cfg.nodes, cfg.locations
+    );
+    let sweep = persistence_under_lossy_collection_with_threads::<Gf256>(
+        &cfg,
+        &losses,
+        &retry_budgets,
+        threads,
+    );
+
+    let mut table = Table::new([
+        "loss", "retries", "levels", "ci95", "lost", "resent", "gave-up", "hops",
+    ]);
+    for cell in &sweep.cells {
+        table.push_row([
+            fmt_f(cell.loss, 2),
+            cell.retries.to_string(),
+            fmt_f(cell.decoded_levels.mean, 3),
+            fmt_f(cell.decoded_levels.ci95, 3),
+            fmt_f(cell.lost_messages, 1),
+            fmt_f(cell.retries_spent, 1),
+            fmt_f(cell.gave_up, 1),
+            fmt_f(cell.query_hops, 0),
+        ]);
+    }
+    println!("{}", table.render());
+
+    if let Some(path) = flag_value(args, "--bench-out")? {
+        meta.write_bench_json(std::path::Path::new(&path), &sweep.results_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote lossy-collection sweep + run metadata to {path}");
     }
     Ok(())
 }

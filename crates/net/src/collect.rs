@@ -20,6 +20,7 @@ use std::collections::BTreeMap;
 
 use prlc_core::PriorityDecoder;
 
+use crate::fault::{DeliveryOutcome, FaultPlan, FaultSession};
 use crate::network::{Network, NodeId};
 use crate::protocol::Deployment;
 
@@ -57,7 +58,7 @@ pub struct CollectionConfig {
 }
 
 /// The outcome of a collection run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CollectionReport {
     /// Decoded-levels trajectory: entry `i` is the decoder state after
     /// `i + 1` collected blocks (the simulated decoding curve).
@@ -66,10 +67,21 @@ pub struct CollectionReport {
     pub blocks_collected: usize,
     /// Caching nodes visited.
     pub nodes_queried: usize,
-    /// Total routing hops spent on queries (one query per visited node).
+    /// Total routing hops spent on queries (one query per visited node,
+    /// including retried transmissions and their backoff surcharge).
     pub query_hops: usize,
     /// Whether the target (or full decode) was reached.
     pub target_reached: bool,
+    /// Query transmissions lost in transit or timed out.
+    pub lost_messages: usize,
+    /// Retransmissions spent recovering lost queries.
+    pub retries: usize,
+    /// Caching nodes skipped because no route exists to them (network
+    /// partition) or they crashed mid-run — their blocks contribute
+    /// nothing.
+    pub unreachable_nodes: usize,
+    /// Queries abandoned after exhausting the retry budget.
+    pub gave_up: usize,
 }
 
 impl CollectionReport {
@@ -101,7 +113,38 @@ where
     D: PriorityDecoder<F>,
     R: Rng + ?Sized,
 {
-    if !net.is_alive(collector) {
+    let mut faults = FaultPlan::none().session(net.node_count());
+    collect_with_faults(net, deployment, decoder, collector, cfg, &mut faults, rng)
+}
+
+/// [`collect`] over a faulty transport: each per-node query is subject
+/// to the session's link model (loss, timeout) and retry budget, and
+/// churn events fire between queries. A node whose query cannot be
+/// delivered — unroutable, crashed mid-run, or retry budget exhausted —
+/// is skipped and its blocks contribute nothing; the report accounts for
+/// every lost transmission, retry and abandoned query instead of
+/// pretending success. If the *collector* crashes mid-run, collection
+/// stops with the partial report.
+///
+/// Under [`FaultPlan::none`] this is bit-identical to [`collect`].
+///
+/// Returns `None` if `collector` is dead or already crashed.
+pub fn collect_with_faults<N, F, D, R>(
+    net: &N,
+    deployment: &Deployment<F>,
+    decoder: &mut D,
+    collector: NodeId,
+    cfg: &CollectionConfig,
+    faults: &mut FaultSession,
+    rng: &mut R,
+) -> Option<CollectionReport>
+where
+    N: NodeLocator,
+    F: GfElem,
+    D: PriorityDecoder<F>,
+    R: Rng + ?Sized,
+{
+    if !net.is_alive(collector) || faults.is_down(collector) {
         return None;
     }
     // Group surviving slots by caching node; visit nodes in random order.
@@ -117,18 +160,34 @@ where
     nodes.shuffle(rng);
 
     let target = cfg.target_levels;
-    let mut report = CollectionReport {
-        levels_after_block: Vec::new(),
-        blocks_collected: 0,
-        nodes_queried: 0,
-        query_hops: 0,
-        target_reached: false,
-    };
+    let mut report = CollectionReport::default();
 
     'outer: for node in nodes {
+        if faults.is_down(collector) {
+            // The collector itself departed: stop with what we have.
+            break;
+        }
         report.nodes_queried += 1;
-        if let Some(route) = net.route(collector, net.locate(node)) {
-            report.query_hops += route.hops;
+        let Some(route) = net.route(collector, net.locate(node)) else {
+            // Unroutable cache (partitioned plane, greedy local minimum):
+            // its blocks never reach the collector.
+            report.unreachable_nodes += 1;
+            continue;
+        };
+        let delivery = faults.attempt(node, route.hops);
+        report.query_hops += delivery.cost_hops;
+        report.lost_messages += delivery.lost;
+        report.retries += delivery.attempts.saturating_sub(1);
+        match delivery.outcome {
+            DeliveryOutcome::Delivered => {}
+            DeliveryOutcome::Unreachable => {
+                report.unreachable_nodes += 1;
+                continue;
+            }
+            DeliveryOutcome::GaveUp => {
+                report.gave_up += 1;
+                continue;
+            }
         }
         for &idx in &by_node[&node] {
             let slot = &deployment.slots()[idx];
@@ -279,6 +338,159 @@ mod tests {
             &mut rng
         )
         .is_none());
+    }
+
+    #[test]
+    fn partitioned_plane_counts_unreachable_caches() {
+        // Regression: collect() used to fall through when `net.route()`
+        // returned None and feed the unreachable node's blocks to the
+        // decoder anyway — "collecting" data across a partition. Now the
+        // node is skipped and counted.
+        let mut rng = StdRng::seed_from_u64(17);
+        // Far below the connectivity radius: the field is a scatter of
+        // small islands.
+        let net = PlaneNetwork::new(50, 0.12, &mut rng);
+        let profile = PriorityProfile::new(vec![2, 4]).unwrap();
+        let sources: Vec<Vec<Gf256>> = vec![Vec::new(); 6];
+        let cfg = ProtocolConfig {
+            scheme: Scheme::Plc,
+            profile: profile.clone(),
+            distribution: PriorityDistribution::uniform(2),
+            locations: 30,
+            fanout: SourceFanout::All,
+            two_choices: false,
+            node_capacity: None,
+            shared_seed: 17,
+        };
+        let dep = predistribute(&net, &cfg, &sources, &mut rng).unwrap();
+        let collector = net.random_alive_node(&mut rng).unwrap();
+        let mut dec: PlcDecoder<Gf256, ()> = PlcDecoder::coefficients_only(profile);
+        let report = collect(
+            &net,
+            &dep,
+            &mut dec,
+            collector,
+            &CollectionConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+
+        // Recompute reachability from the collector's side.
+        let mut reachable_blocks = 0usize;
+        let mut unreachable_caches = 0usize;
+        let mut caches = std::collections::BTreeMap::new();
+        for &idx in &dep.surviving_slots(&net) {
+            let slot = &dep.slots()[idx];
+            caches
+                .entry(slot.node)
+                .or_insert_with(Vec::new)
+                .push(!slot.block.is_empty());
+        }
+        for (node, blocks) in caches {
+            if net.route(collector, net.locate(node)).is_some() {
+                reachable_blocks += blocks.iter().filter(|&&b| b).count();
+            } else {
+                unreachable_caches += 1;
+            }
+        }
+        assert!(
+            unreachable_caches > 0,
+            "seed produced a connected plane; pick a sparser one"
+        );
+        assert_eq!(report.unreachable_nodes, unreachable_caches);
+        assert_eq!(report.blocks_collected, reachable_blocks);
+        assert_eq!(report.blocks_collected, report.levels_after_block.len());
+        // A perfect transport loses nothing even across a partition.
+        assert_eq!(report.lost_messages, 0);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.gave_up, 0);
+    }
+
+    #[test]
+    fn none_plan_is_bit_identical_to_plain_collect() {
+        let (mut net, dep, _, _) = setup(7, Scheme::Plc, 40);
+        let mut rng = StdRng::seed_from_u64(77);
+        net.fail_uniform(0.3, &mut rng);
+        let collector = net.random_alive_node(&mut rng).unwrap();
+
+        let mut rng_a = StdRng::seed_from_u64(123);
+        let mut dec_a: PlcDecoder<Gf256, ()> = PlcDecoder::coefficients_only(dep.profile().clone());
+        let report_a = collect(
+            &net,
+            &dep,
+            &mut dec_a,
+            collector,
+            &CollectionConfig::default(),
+            &mut rng_a,
+        )
+        .unwrap();
+
+        let mut rng_b = StdRng::seed_from_u64(123);
+        let mut dec_b: PlcDecoder<Gf256, ()> = PlcDecoder::coefficients_only(dep.profile().clone());
+        let mut faults = crate::fault::FaultPlan::none().session(net.node_count());
+        let report_b = collect_with_faults(
+            &net,
+            &dep,
+            &mut dec_b,
+            collector,
+            &CollectionConfig::default(),
+            &mut faults,
+            &mut rng_b,
+        )
+        .unwrap();
+
+        assert_eq!(report_a, report_b);
+        assert_eq!(dec_a.decoded_levels(), dec_b.decoded_levels());
+        // And both rngs are left in the same state.
+        use rand::Rng;
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn lossy_queries_degrade_and_account() {
+        let (net, dep, _, mut rng) = setup(8, Scheme::Plc, 40);
+        let collector = net.random_alive_node(&mut rng).unwrap();
+
+        let mut dec: PlcDecoder<Gf256, ()> = PlcDecoder::coefficients_only(dep.profile().clone());
+        let mut faults = crate::fault::FaultPlan::lossy(0.7, crate::fault::RetryPolicy::none(), 99)
+            .session(net.node_count());
+        let mut rng_l = StdRng::seed_from_u64(5);
+        let lossy = collect_with_faults(
+            &net,
+            &dep,
+            &mut dec,
+            collector,
+            &CollectionConfig::default(),
+            &mut faults,
+            &mut rng_l,
+        )
+        .unwrap();
+        assert!(lossy.gave_up > 0, "{lossy:?}");
+        assert_eq!(lossy.lost_messages, lossy.gave_up + lossy.retries);
+        assert!(lossy.nodes_queried >= lossy.unreachable_nodes + lossy.gave_up);
+
+        // Same loss with a retry budget recovers queries.
+        let mut dec2: PlcDecoder<Gf256, ()> = PlcDecoder::coefficients_only(dep.profile().clone());
+        let mut faults2 =
+            crate::fault::FaultPlan::lossy(0.7, crate::fault::RetryPolicy::with_retries(6, 1), 99)
+                .session(net.node_count());
+        let mut rng_r = StdRng::seed_from_u64(5);
+        let retried = collect_with_faults(
+            &net,
+            &dep,
+            &mut dec2,
+            collector,
+            &CollectionConfig::default(),
+            &mut faults2,
+            &mut rng_r,
+        )
+        .unwrap();
+        // (Not blocks_collected: a retried run can decode fully and
+        // early-stop with *fewer* blocks than the starved lossy run.)
+        assert!(retried.final_levels() >= lossy.final_levels());
+        assert!(retried.gave_up < lossy.gave_up);
+        assert!(retried.retries > 0);
+        assert!(retried.target_reached, "{retried:?}");
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //! * Failure models: independent node failure ([`Network::fail_uniform`]),
 //!   correlated regional failure ([`PlaneNetwork::fail_disk`],
 //!   [`RingNetwork::fail_arc`]) and session churn ([`Churn`]).
+//! * [`fault`] — seeded fault injection for the protocol runs
+//!   themselves: lossy links, query timeouts, bounded retry with
+//!   backoff, and churn events interleaved with protocol steps
+//!   ([`FaultPlan`] / [`collect_with_faults`] /
+//!   [`predistribute_with_faults`] / [`refresh_with_faults`]).
 //!
 //! # Example: persist and recover through 40% node failure
 //!
@@ -61,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod collect;
+pub mod fault;
 pub mod network;
 pub mod plane;
 pub mod protocol;
@@ -68,14 +74,17 @@ pub mod refresh;
 pub mod ring;
 pub mod rounds;
 
-pub use collect::{collect, CollectionConfig, CollectionReport, NodeLocator};
+pub use collect::{collect, collect_with_faults, CollectionConfig, CollectionReport, NodeLocator};
+pub use fault::{
+    ChurnEvent, Delivery, DeliveryOutcome, FaultPlan, FaultSession, LinkModel, RetryPolicy,
+};
 pub use network::{Churn, Network, NodeId, Route};
 pub use plane::{PlaneNetwork, PlanePoint};
 pub use protocol::{
-    predistribute, Deployment, DistributionMetrics, ProtocolConfig, ProtocolError, SourceFanout,
-    StorageSlot,
+    predistribute, predistribute_with_faults, Deployment, DistributionMetrics, ProtocolConfig,
+    ProtocolError, SourceFanout, StorageSlot,
 };
-pub use refresh::{refresh, RefreshConfig, RefreshReport};
+pub use refresh::{refresh, refresh_with_faults, RefreshConfig, RefreshReport};
 pub use ring::RingNetwork;
 pub use rounds::{RoundId, RoundStore, RoundStoreConfig};
 

@@ -7,6 +7,8 @@ use prlc_gf::Gf256;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::collect::{collect_with_faults, CollectionConfig};
+use crate::fault::{ChurnEvent, FaultPlan, LinkModel, RetryPolicy};
 use crate::network::{Network, NodeId};
 use crate::plane::PlaneNetwork;
 use crate::protocol::{predistribute, ProtocolConfig, SourceFanout};
@@ -104,6 +106,72 @@ proptest! {
             load.iter().copied().max().unwrap_or(0),
             dep.metrics().max_node_load
         );
+    }
+
+    #[test]
+    fn fault_accounting_is_internally_consistent(
+        seed in 0u64..500,
+        loss in 0.0f64..1.0,
+        retries in 0usize..5,
+        node_failure in 0.0f64..0.6,
+        churn_after in 0usize..60,
+        churn_fraction in 0.0f64..0.5,
+    ) {
+        use prlc_core::{PlcDecoder, PriorityDecoder};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = RingNetwork::new(40, &mut rng);
+        let profile = PriorityProfile::new(vec![2, 3, 4]).unwrap();
+        let sources: Vec<Vec<Gf256>> = vec![Vec::new(); 9];
+        let dep = predistribute(&net, &ProtocolConfig {
+            scheme: Scheme::Plc,
+            profile: profile.clone(),
+            distribution: PriorityDistribution::uniform(3),
+            locations: 25,
+            fanout: SourceFanout::All,
+            two_choices: true,
+            node_capacity: None,
+            shared_seed: seed,
+        }, &sources, &mut rng).unwrap();
+        net.fail_uniform(node_failure, &mut rng);
+        // 40 nodes at <60% failure: survivors exist (p > 1 - 1e-8).
+        prop_assume!(net.alive_count() > 0);
+        let collector = net.random_alive_node(&mut rng).unwrap();
+
+        let plan = FaultPlan {
+            link: LinkModel { loss, timeout_hops: None },
+            retry: RetryPolicy::with_retries(retries, 1),
+            churn: vec![ChurnEvent { after_messages: churn_after, fraction: churn_fraction }],
+            seed,
+        };
+        let mut faults = plan.session(net.node_count());
+        let mut dec: PlcDecoder<Gf256, ()> = PlcDecoder::coefficients_only(profile);
+        let report = collect_with_faults(
+            &net, &dep, &mut dec, collector, &CollectionConfig::default(),
+            &mut faults, &mut rng,
+        ).expect("collector is alive and a fresh session has no crashes");
+
+        // Report accounting must be internally consistent under ANY
+        // seeded fault plan.
+        prop_assert_eq!(report.blocks_collected, report.levels_after_block.len());
+        for w in report.levels_after_block.windows(2) {
+            prop_assert!(w[1] >= w[0], "trajectory not monotone");
+        }
+        prop_assert!(report.nodes_queried <= net.alive_count());
+        prop_assert!(report.unreachable_nodes + report.gave_up <= report.nodes_queried);
+        // retries = attempts - 1 per query, at most `retries` each.
+        prop_assert!(report.retries <= report.nodes_queried * retries);
+        // Delivered queries lose exactly their retries; abandoned ones
+        // one more; crashed-mid-query ones had every attempt lost.
+        prop_assert!(report.retries <= report.lost_messages);
+        prop_assert!(
+            report.lost_messages
+                <= report.retries + report.gave_up + report.unreachable_nodes,
+            "lost {} vs retries {} gave_up {} unreachable {}",
+            report.lost_messages, report.retries, report.gave_up,
+            report.unreachable_nodes
+        );
+        prop_assert_eq!(report.final_levels(), dec.decoded_levels());
     }
 
     #[test]

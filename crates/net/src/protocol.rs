@@ -27,6 +27,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::fault::{DeliveryOutcome, FaultPlan, FaultSession};
 use crate::network::{Network, NodeId};
 
 /// How many of its eligible storage locations each source block visits.
@@ -158,10 +159,21 @@ pub struct DistributionMetrics {
     pub messages: usize,
     /// Total hops across all delivered messages.
     pub total_hops: usize,
-    /// Deliveries that failed (no route to the location's owner).
+    /// Deliveries that failed (no route to the location's owner, or the
+    /// owner crashed mid-run).
     pub failed_deliveries: usize,
     /// Maximum number of coded blocks cached on any single node.
     pub max_node_load: usize,
+    /// Transmissions lost in transit or timed out (fault injection).
+    pub lost_messages: usize,
+    /// Retransmissions spent recovering lost deliveries.
+    pub retries: usize,
+    /// Caching nodes found crashed by the fault plan when a delivery was
+    /// attempted (a subset of `failed_deliveries`).
+    pub unreachable_nodes: usize,
+    /// Deliveries abandoned after exhausting the retry budget (their
+    /// slot never folds the source block in).
+    pub gave_up: usize,
 }
 
 impl DistributionMetrics {
@@ -241,6 +253,35 @@ pub fn predistribute<N: Network, F: GfElem, R: Rng + ?Sized>(
     net: &N,
     cfg: &ProtocolConfig,
     sources: &[Vec<F>],
+    rng: &mut R,
+) -> Result<Deployment<F>, ProtocolError> {
+    let mut faults = FaultPlan::none().session(net.node_count());
+    predistribute_with_faults(net, cfg, sources, &mut faults, rng)
+}
+
+/// [`predistribute`] over a faulty transport: every source-block
+/// delivery is subject to the session's link model and retry budget, and
+/// churn events fire between deliveries. A delivery that is lost beyond
+/// its retry budget leaves its slot without that source's contribution
+/// (the coded block simply misses one term — still a valid, if thinner,
+/// random combination); a delivery to a crashed owner fails outright.
+/// The metrics account for every lost transmission, retry and abandoned
+/// delivery.
+///
+/// Under [`FaultPlan::none`] this is bit-identical to [`predistribute`]:
+/// the shared-seed location derivation is never subject to faults (it is
+/// a local computation every node performs independently), and the fault
+/// RNG stream is separate from `rng`.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] when the network is empty or the
+/// configuration is inconsistent.
+pub fn predistribute_with_faults<N: Network, F: GfElem, R: Rng + ?Sized>(
+    net: &N,
+    cfg: &ProtocolConfig,
+    sources: &[Vec<F>],
+    faults: &mut FaultSession,
     rng: &mut R,
 ) -> Result<Deployment<F>, ProtocolError> {
     let n_blocks = cfg.profile.total_blocks();
@@ -361,10 +402,25 @@ pub fn predistribute<N: Network, F: GfElem, R: Rng + ?Sized>(
             match net.route(origin, points[slot_idx]) {
                 Some(route) => {
                     debug_assert_eq!(route.owner, slots[slot_idx].node);
-                    metrics.messages += 1;
-                    metrics.total_hops += route.hops;
-                    let beta = F::random_nonzero(rng);
-                    slots[slot_idx].block.accumulate(j, beta, data);
+                    let delivery = faults.attempt(slots[slot_idx].node, route.hops);
+                    metrics.lost_messages += delivery.lost;
+                    metrics.retries += delivery.attempts.saturating_sub(1);
+                    match delivery.outcome {
+                        DeliveryOutcome::Delivered => {
+                            metrics.messages += 1;
+                            metrics.total_hops += delivery.cost_hops;
+                            let beta = F::random_nonzero(rng);
+                            slots[slot_idx].block.accumulate(j, beta, data);
+                        }
+                        DeliveryOutcome::Unreachable => {
+                            metrics.failed_deliveries += 1;
+                            metrics.unreachable_nodes += 1;
+                        }
+                        DeliveryOutcome::GaveUp => {
+                            metrics.failed_deliveries += 1;
+                            metrics.gave_up += 1;
+                        }
+                    }
                 }
                 None => metrics.failed_deliveries += 1,
             }
@@ -405,6 +461,67 @@ mod tests {
         (0..10)
             .map(|_| (0..2).map(|_| Gf256::random(rng)).collect())
             .collect()
+    }
+
+    #[test]
+    fn none_plan_is_bit_identical_to_plain_predistribute() {
+        use crate::fault::FaultPlan;
+        for scheme in Scheme::ALL {
+            let mut rng = StdRng::seed_from_u64(91);
+            let net = RingNetwork::new(50, &mut rng);
+            let srcs = sources(&mut rng);
+
+            let mut rng_a = StdRng::seed_from_u64(7);
+            let dep_a = predistribute(&net, &config(scheme, 30), &srcs, &mut rng_a).unwrap();
+
+            let mut rng_b = StdRng::seed_from_u64(7);
+            let mut faults = FaultPlan::none().session(net.node_count());
+            let dep_b = predistribute_with_faults(
+                &net,
+                &config(scheme, 30),
+                &srcs,
+                &mut faults,
+                &mut rng_b,
+            )
+            .unwrap();
+
+            assert_eq!(dep_a.metrics(), dep_b.metrics(), "{scheme}");
+            assert_eq!(
+                format!("{:?}", dep_a.slots()),
+                format!("{:?}", dep_b.slots()),
+                "{scheme}: slot state diverged under the none plan"
+            );
+            use rand::Rng;
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn lossy_predistribution_accounts_for_failures() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+        let mut rng = StdRng::seed_from_u64(92);
+        let net = RingNetwork::new(50, &mut rng);
+        let srcs = sources(&mut rng);
+
+        let mut faults = FaultPlan::lossy(0.6, RetryPolicy::none(), 13).session(net.node_count());
+        let mut rng_l = StdRng::seed_from_u64(8);
+        let dep = predistribute_with_faults(
+            &net,
+            &config(Scheme::Plc, 30),
+            &srcs,
+            &mut faults,
+            &mut rng_l,
+        )
+        .unwrap();
+        let m = dep.metrics();
+        assert!(m.gave_up > 0, "{m:?}");
+        assert_eq!(m.lost_messages, m.gave_up + m.retries);
+        assert_eq!(m.failed_deliveries, m.gave_up + m.unreachable_nodes);
+        // Abandoned deliveries leave some slots thinner than the dense
+        // fanout would: total accumulation messages dropped.
+        let mut rng_c = StdRng::seed_from_u64(8);
+        let clean = predistribute(&net, &config(Scheme::Plc, 30), &srcs, &mut rng_c).unwrap();
+        assert!(m.messages < clean.metrics().messages);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::collect::NodeLocator;
+use crate::fault::{DeliveryOutcome, FaultPlan, FaultSession};
 use crate::protocol::Deployment;
 
 /// Configuration of one repair pass.
@@ -50,8 +51,18 @@ pub struct RefreshReport {
     pub unrepairable: usize,
     /// Donor-fetch messages sent.
     pub messages: usize,
-    /// Total hops across donor fetches.
+    /// Total hops across donor fetches (including retried transmissions
+    /// and their backoff surcharge).
     pub total_hops: usize,
+    /// Donor-fetch transmissions lost in transit or timed out.
+    pub lost_messages: usize,
+    /// Retransmissions spent recovering lost fetches.
+    pub retries: usize,
+    /// Donor fetches skipped because the donor was unroutable or crashed
+    /// mid-run (the repaired block misses that donor's contribution).
+    pub unreachable_nodes: usize,
+    /// Donor fetches abandoned after exhausting the retry budget.
+    pub gave_up: usize,
 }
 
 /// Repairs every slot of `deployment` whose caching node has failed,
@@ -63,6 +74,33 @@ pub fn refresh<N, F, R>(
     net: &N,
     deployment: &mut Deployment<F>,
     cfg: &RefreshConfig,
+    rng: &mut R,
+) -> Option<RefreshReport>
+where
+    N: NodeLocator,
+    F: GfElem,
+    R: Rng + ?Sized,
+{
+    let mut faults = FaultPlan::none().session(net.node_count());
+    refresh_with_faults(net, deployment, cfg, &mut faults, rng)
+}
+
+/// [`refresh`] over a faulty transport: each donor fetch is subject to
+/// the session's link model and retry budget, and churn events fire
+/// between fetches. A donor whose fetch fails — unroutable, crashed, or
+/// retry budget spent — contributes nothing to the repaired block; a
+/// slot for which *no* donor could be fetched stays unrepaired (counted
+/// in `unrepairable`) instead of silently acquiring an empty block.
+///
+/// Under [`FaultPlan::none`] this is bit-identical to [`refresh`] on any
+/// connected network.
+///
+/// Returns `None` when the network has no alive nodes at all.
+pub fn refresh_with_faults<N, F, R>(
+    net: &N,
+    deployment: &mut Deployment<F>,
+    cfg: &RefreshConfig,
+    faults: &mut FaultSession,
     rng: &mut R,
 ) -> Option<RefreshReport>
 where
@@ -114,19 +152,43 @@ where
 
         let width = deployment.profile().total_blocks();
         let mut block: CodedBlock<F> = CodedBlock::empty(level, width);
+        let mut fetched = 0usize;
         for &j in &donors {
             let donor_slot = &deployment.slots()[j];
             // Fetch the donor block: route from the repairing node to the
             // donor's cache.
-            if let Some(route) = net.route(new_node, net.locate(donor_slot.node)) {
-                report.messages += 1;
-                report.total_hops += route.hops;
+            let Some(route) = net.route(new_node, net.locate(donor_slot.node)) else {
+                report.unreachable_nodes += 1;
+                continue;
+            };
+            let delivery = faults.attempt(donor_slot.node, route.hops);
+            report.lost_messages += delivery.lost;
+            report.retries += delivery.attempts.saturating_sub(1);
+            report.total_hops += delivery.cost_hops;
+            match delivery.outcome {
+                DeliveryOutcome::Delivered => {}
+                DeliveryOutcome::Unreachable => {
+                    report.unreachable_nodes += 1;
+                    continue;
+                }
+                DeliveryOutcome::GaveUp => {
+                    report.gave_up += 1;
+                    continue;
+                }
             }
+            report.messages += 1;
             let beta = F::random_nonzero(rng);
             let donor_block = donor_slot.block.clone();
             block.combine(&donor_block, beta);
+            fetched += 1;
         }
 
+        if fetched == 0 {
+            // Every donor fetch failed: the slot stays lost rather than
+            // acquiring an empty block on a new node.
+            report.unrepairable += 1;
+            continue;
+        }
         let slot = &mut deployment.slots_mut()[slot_idx];
         slot.node = new_node;
         slot.block = block;
@@ -285,6 +347,62 @@ mod tests {
             with_repair >= 4,
             "repair preserved data only {with_repair}/6"
         );
+    }
+
+    #[test]
+    fn none_plan_is_bit_identical_to_plain_refresh() {
+        let (mut net, dep, _, mut rng) = setup(5, Scheme::Plc);
+        net.fail_uniform(0.4, &mut rng);
+        let cfg = RefreshConfig {
+            scheme: Scheme::Plc,
+            donors_per_slot: 3,
+        };
+
+        let mut dep_a = dep.clone();
+        let mut rng_a = StdRng::seed_from_u64(55);
+        let report_a = refresh(&net, &mut dep_a, &cfg, &mut rng_a).unwrap();
+
+        let mut dep_b = dep;
+        let mut rng_b = StdRng::seed_from_u64(55);
+        let mut faults = FaultPlan::none().session(net.node_count());
+        let report_b =
+            refresh_with_faults(&net, &mut dep_b, &cfg, &mut faults, &mut rng_b).unwrap();
+
+        assert_eq!(report_a, report_b);
+        assert_eq!(
+            format!("{:?}", dep_a.slots()),
+            format!("{:?}", dep_b.slots())
+        );
+        use rand::Rng;
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn failed_donor_fetches_leave_slots_unrepaired() {
+        use crate::fault::RetryPolicy;
+        let (mut net, mut dep, _, mut rng) = setup(6, Scheme::Plc);
+        net.fail_uniform(0.4, &mut rng);
+        let dead = dep.slots().iter().filter(|s| !net.is_alive(s.node)).count();
+        assert!(dead > 0);
+        // Total loss, no retries: every donor fetch is abandoned, so
+        // nothing is repaired — and no slot acquires an empty block.
+        let mut faults = FaultPlan::lossy(1.0, RetryPolicy::none(), 3).session(net.node_count());
+        let report = refresh_with_faults(
+            &net,
+            &mut dep,
+            &RefreshConfig {
+                scheme: Scheme::Plc,
+                donors_per_slot: 3,
+            },
+            &mut faults,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(report.repaired, 0);
+        assert_eq!(report.unrepairable, dead);
+        assert_eq!(report.messages, 0);
+        assert!(report.gave_up > 0);
+        assert_eq!(report.lost_messages, report.gave_up + report.retries);
     }
 
     #[test]

@@ -16,8 +16,11 @@ use prlc_gf::GfElem;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultSession;
 use crate::network::Network;
-use crate::protocol::{predistribute, Deployment, ProtocolConfig, ProtocolError};
+use crate::protocol::{
+    predistribute, predistribute_with_faults, Deployment, ProtocolConfig, ProtocolError,
+};
 
 /// Identifies one measurement round (monotonically increasing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -94,13 +97,43 @@ impl<F: GfElem> RoundStore<F> {
         let mut cfg = self.config.protocol.clone();
         cfg.shared_seed = cfg.shared_seed.wrapping_add(id.0);
         let deployment = predistribute(net, &cfg, sources, rng)?;
+        self.push_round(id, deployment);
+        Ok(id)
+    }
+
+    /// [`Self::store_round`] over a faulty transport: the round's
+    /// pre-distribution runs through `faults` (see
+    /// [`predistribute_with_faults`]), so deliveries can be lost,
+    /// retried, or abandoned, and churn events advance across rounds
+    /// sharing one session. Under [`crate::FaultPlan::none`] this is
+    /// bit-identical to [`Self::store_round`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProtocolError`] from the pre-distribution run (the
+    /// round is not stored and nothing is evicted).
+    pub fn store_round_with_faults<N: Network, R: Rng + ?Sized>(
+        &mut self,
+        net: &N,
+        sources: &[Vec<F>],
+        faults: &mut FaultSession,
+        rng: &mut R,
+    ) -> Result<RoundId, ProtocolError> {
+        let id = RoundId(self.next_round);
+        let mut cfg = self.config.protocol.clone();
+        cfg.shared_seed = cfg.shared_seed.wrapping_add(id.0);
+        let deployment = predistribute_with_faults(net, &cfg, sources, faults, rng)?;
+        self.push_round(id, deployment);
+        Ok(id)
+    }
+
+    fn push_round(&mut self, id: RoundId, deployment: Deployment<F>) {
         self.next_round += 1;
         if self.rounds.len() == self.config.max_rounds {
             self.rounds.pop_front();
             self.evicted += 1;
         }
         self.rounds.push_back((id, deployment));
-        Ok(id)
     }
 
     /// Number of rounds currently retained.
@@ -270,6 +303,41 @@ mod tests {
             .map(|s| s.node)
             .collect();
         assert_ne!(a, b, "rounds landed on identical node sequences");
+    }
+
+    #[test]
+    fn faulty_rounds_match_plain_rounds_under_none_plan() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = RingNetwork::new(50, &mut rng);
+        let srcs = round_sources(&mut rng, 3);
+
+        let mut plain: RoundStore<Gf256> = RoundStore::new(store_config(14, 2));
+        let mut rng_a = StdRng::seed_from_u64(21);
+        plain.store_round(&net, &srcs, &mut rng_a).unwrap();
+
+        let mut faulty: RoundStore<Gf256> = RoundStore::new(store_config(14, 2));
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let mut session = FaultPlan::none().session(net.node_count());
+        let id = faulty
+            .store_round_with_faults(&net, &srcs, &mut session, &mut rng_b)
+            .unwrap();
+        assert_eq!(
+            format!("{:?}", plain.deployment(id).unwrap().slots()),
+            format!("{:?}", faulty.deployment(id).unwrap().slots())
+        );
+
+        // A lossy session threads through and leaves its mark: rounds
+        // still store, and the metrics show abandoned deliveries.
+        let mut lossy = FaultPlan::lossy(0.8, RetryPolicy::none(), 4).session(net.node_count());
+        let id2 = faulty
+            .store_round_with_faults(&net, &srcs, &mut lossy, &mut rng_b)
+            .unwrap();
+        assert_eq!(faulty.len(), 2);
+        let metrics = faulty.deployment(id2).unwrap().metrics();
+        assert!(metrics.gave_up > 0, "{metrics:?}");
+        assert_eq!(metrics.lost_messages, metrics.gave_up + metrics.retries);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! * [`experiments`] — decoding-curve and survivability simulations over
 //!   any scheme ([`Persistence`]): RLC/SLC/PLC plus the replication and
 //!   Growth-Codes baselines;
+//! * [`lossy`] — collection re-run over a fault-injected transport
+//!   (loss rate × retry budget sweeps via [`prlc_net::FaultPlan`]);
 //! * [`stats`] — means and 95% confidence intervals ("the average and
 //!   the 95% confidence intervals from 100 independent experiments");
 //! * [`runner`] — seed-split, order-deterministic parallel execution;
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod lossy;
 pub mod metadata;
 pub mod runner;
 pub mod stats;
@@ -49,6 +52,10 @@ pub use experiments::{
     growth_levels, simulate_decoding_curve, simulate_decoding_curve_with_threads,
     simulate_survivability, simulate_survivability_with_threads, CurveConfig, DecodingCurve,
     Persistence, SurvivabilityConfig,
+};
+pub use lossy::{
+    persistence_under_lossy_collection, persistence_under_lossy_collection_with_threads, LossyCell,
+    LossyCollectionConfig, LossySweep,
 };
 pub use metadata::RunMetadata;
 pub use runner::{default_threads, run_parallel, run_parallel_with_threads, run_seed, splitmix64};

@@ -38,12 +38,21 @@ impl RunMetadata {
     ///
     /// Serialisation is hand-rolled: the workspace builds offline and the
     /// fields are three scalars, so a serializer dependency buys nothing.
+    /// A non-finite throughput (a zero-duration or failed measurement)
+    /// is emitted as `null` — `{:.1}` would print `NaN`/`inf`, which is
+    /// not JSON and silently corrupts every `BENCH_*.json` envelope
+    /// built on top of this object.
     pub fn to_json(&self) -> String {
+        let throughput = if self.symbol_throughput_mb_s.is_finite() {
+            format!("{:.1}", self.symbol_throughput_mb_s)
+        } else {
+            "null".to_string()
+        };
         format!(
-            "{{\"kernel_backend\":\"{}\",\"threads\":{},\"symbol_throughput_mb_s\":{:.1}}}",
+            "{{\"kernel_backend\":\"{}\",\"threads\":{},\"symbol_throughput_mb_s\":{}}}",
             escape_json(&self.kernel_backend),
             self.threads,
-            self.symbol_throughput_mb_s
+            throughput
         )
     }
 
@@ -133,6 +142,21 @@ mod tests {
             meta.to_json(),
             "{\"kernel_backend\":\"table\",\"threads\":8,\"symbol_throughput_mb_s\":1234.6}"
         );
+    }
+
+    #[test]
+    fn non_finite_throughput_stays_valid_json() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let meta = RunMetadata {
+                kernel_backend: "table".into(),
+                threads: 2,
+                symbol_throughput_mb_s: bad,
+            };
+            assert_eq!(
+                meta.to_json(),
+                "{\"kernel_backend\":\"table\",\"threads\":2,\"symbol_throughput_mb_s\":null}"
+            );
+        }
     }
 
     #[test]

@@ -25,14 +25,23 @@ pub fn run_seed(base_seed: u64, index: usize) -> u64 {
 }
 
 /// The runner's default worker count: the `PRLC_THREADS` environment
-/// variable if set to a positive integer, otherwise
-/// `available_parallelism`.
+/// variable if set to a positive decimal integer (e.g. `PRLC_THREADS=4`),
+/// otherwise `available_parallelism`.
+///
+/// A set-but-malformed `PRLC_THREADS` (empty, non-numeric, or `0`) falls
+/// back to `available_parallelism` and warns once on stderr — a typo'd
+/// pin must not silently change how many workers a benchmark ran with.
 pub fn default_threads() -> usize {
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
     if let Ok(v) = std::env::var("PRLC_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+        match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: ignoring PRLC_THREADS={v:?} (expected a positive \
+                     integer, e.g. PRLC_THREADS=4); using available parallelism"
+                );
+            }),
         }
     }
     std::thread::available_parallelism()
@@ -135,6 +144,23 @@ mod tests {
         let serial: Vec<u64> = (0..37).map(|i| run_seed(99, i) % 1000).collect();
         let parallel = run_parallel(37, 99, |s| s % 1000);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn malformed_prlc_threads_falls_back() {
+        // Results are thread-count independent, so briefly perturbing
+        // the variable cannot change any concurrent test's outcome.
+        let saved = std::env::var("PRLC_THREADS").ok();
+        std::env::set_var("PRLC_THREADS", "lots");
+        let fallback = default_threads();
+        match saved {
+            Some(v) => std::env::set_var("PRLC_THREADS", v),
+            None => std::env::remove_var("PRLC_THREADS"),
+        }
+        let expected = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(fallback, expected);
     }
 
     #[test]
