@@ -23,7 +23,7 @@ USAGE:
   prlc sim [--scheme rlc|slc|plc|replication|growth] [--levels a,b,c]
            [--max-blocks M] [--runs R] [--seed S] [--threads T]
            [--loss p1,p2,...] [--retries r1,r2,...]
-           [--bench-out FILE]
+           [--bench-out FILE] [--metrics FILE|-]
 
 The encoder splits FILE into priority levels (leading bytes = most
 important), generates overhead·N coded shards, and writes them plus a
@@ -43,6 +43,13 @@ ring overlay, a node-failure event strikes, then a collector gathers
 the survivors while each per-node query is dropped with probability
 --loss and retried up to --retries times. Both flags take
 comma-separated lists and form a grid.
+
+--metrics enables the prlc-obs recorder and dumps the full metrics
+snapshot (counters, histograms, events, timers) as one JSON object to
+FILE, or to stdout with `-`. Everything except the timers block is
+deterministic for a fixed seed, independent of thread count. The same
+snapshot is embedded as a \"metrics\" block in --bench-out envelopes.
+Setting PRLC_OBS=1 enables recording without a dump.
 ";
 
 fn main() -> ExitCode {
@@ -267,9 +274,20 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         None => runner::default_threads(),
     };
 
+    let metrics_out = flag_value(args, "--metrics")?;
+    if metrics_out.is_some() {
+        prlc_obs::enable();
+    }
+
     // Run header: environment first, so perf numbers in the output are
     // attributable to a backend and worker count.
-    let meta = RunMetadata::collect(threads);
+    let mut meta = RunMetadata::collect(threads);
+    if prlc_obs::enabled() {
+        // The throughput probe inside `collect` runs a wall-clock-bounded
+        // number of kernel iterations; drop those counts so the snapshot
+        // reflects only the (deterministic) experiment itself.
+        prlc_obs::reset();
+    }
     println!(
         "prlc sim — kernel backend {}, {} threads, {} MB/s symbol throughput",
         meta.kernel_backend,
@@ -294,7 +312,8 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
             runs,
             seed,
             threads,
-            &meta,
+            &mut meta,
+            metrics_out.as_deref(),
             losses.as_deref(),
             retries.as_deref(),
         );
@@ -318,6 +337,11 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     }
     println!("{}", table.render());
 
+    let metrics_json = match metrics_out.as_deref() {
+        Some(dest) => Some(finish_metrics(&mut meta, dest)?),
+        None => None,
+    };
+
     if let Some(path) = flag_value(args, "--bench-out")? {
         let results: Vec<String> = curve
             .summaries
@@ -331,11 +355,31 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
             })
             .collect();
         let json = format!("[{}]", results.join(","));
-        meta.write_bench_json(std::path::Path::new(&path), &json)
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        meta.write_bench_json_with_metrics(
+            std::path::Path::new(&path),
+            &json,
+            metrics_json.as_deref(),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote curve + run metadata to {path}");
     }
     Ok(())
+}
+
+/// Finalises a metrics-enabled `sim` run: folds the `sim.run` timer into
+/// the metadata, renders the full snapshot, and delivers it to `dest`
+/// (`-` = one JSON line on stdout). Returns the JSON so callers can also
+/// embed it in a bench envelope.
+fn finish_metrics(meta: &mut RunMetadata, dest: &str) -> Result<String, String> {
+    meta.aggregate_obs_timing();
+    let json = prlc_obs::snapshot().to_json();
+    if dest == "-" {
+        println!("{json}");
+    } else {
+        std::fs::write(dest, format!("{json}\n")).map_err(|e| format!("writing {dest}: {e}"))?;
+        println!("wrote metrics to {dest}");
+    }
+    Ok(json)
 }
 
 /// The `sim --loss/--retries` path: collection over a fault-injected
@@ -349,7 +393,8 @@ fn cmd_sim_lossy(
     runs: usize,
     seed: u64,
     threads: usize,
-    meta: &RunMetadata,
+    meta: &mut RunMetadata,
+    metrics_out: Option<&str>,
     losses: Option<&str>,
     retries: Option<&str>,
 ) -> Result<(), String> {
@@ -421,9 +466,18 @@ fn cmd_sim_lossy(
     }
     println!("{}", table.render());
 
+    let metrics_json = match metrics_out {
+        Some(dest) => Some(finish_metrics(meta, dest)?),
+        None => None,
+    };
+
     if let Some(path) = flag_value(args, "--bench-out")? {
-        meta.write_bench_json(std::path::Path::new(&path), &sweep.results_json())
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        meta.write_bench_json_with_metrics(
+            std::path::Path::new(&path),
+            &sweep.results_json(),
+            metrics_json.as_deref(),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote lossy-collection sweep + run metadata to {path}");
     }
     Ok(())

@@ -91,6 +91,102 @@ fn encode_decode_roundtrip_via_binary() {
     fs::remove_dir_all(dir).unwrap();
 }
 
+/// Extracts the metrics JSON line from `sim --metrics -` stdout and
+/// strips the wall-clock `timers` block (spliced last by
+/// `Snapshot::to_json`), leaving the deterministic part.
+fn deterministic_metrics(stdout: &[u8]) -> String {
+    let text = String::from_utf8_lossy(stdout);
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("{\"counters\""))
+        .unwrap_or_else(|| panic!("no metrics line in output:\n{text}"))
+        .to_string();
+    match line.find(",\"timers\":") {
+        Some(pos) => format!("{}}}", &line[..pos]),
+        None => line,
+    }
+}
+
+/// The pinned-seed metrics snapshot is byte-identical across worker
+/// thread counts — timing aside, observability must not perturb or be
+/// perturbed by parallel execution.
+#[test]
+fn metrics_snapshot_is_thread_count_independent() {
+    let run = |threads: &str| {
+        let out = prlc()
+            .args([
+                "sim",
+                "--loss",
+                "0.3",
+                "--retries",
+                "2",
+                "--runs",
+                "40",
+                "--seed",
+                "7",
+                "--metrics",
+                "-",
+            ])
+            .env("PRLC_THREADS", threads)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "sim --metrics failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        deterministic_metrics(&out.stdout)
+    };
+    let single = run("1");
+    let multi = run("4");
+    assert!(
+        single.contains("\"net.messages.sent\""),
+        "missing transport counters: {single}"
+    );
+    assert!(single.contains("\"events\""), "missing events: {single}");
+    assert_eq!(single, multi, "metrics depend on thread count");
+}
+
+/// `--metrics FILE` writes the same snapshot to disk, and `--bench-out`
+/// embeds it as a `metrics` block in the envelope.
+#[test]
+fn metrics_file_and_bench_envelope() {
+    let dir = temp_dir("metrics");
+    let metrics_path = dir.join("metrics.json");
+    let bench_path = dir.join("BENCH_sim.json");
+    let out = prlc()
+        .args([
+            "sim",
+            "--loss",
+            "0.2",
+            "--retries",
+            "1",
+            "--runs",
+            "10",
+            "--seed",
+            "3",
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+            "--bench-out",
+            bench_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let metrics = fs::read_to_string(&metrics_path).unwrap();
+    assert!(metrics.starts_with("{\"counters\""), "{metrics}");
+    assert!(metrics.contains("\"timers\""), "{metrics}");
+    let bench = fs::read_to_string(&bench_path).unwrap();
+    assert!(bench.contains("\"metrics\":{\"counters\""), "{bench}");
+    assert!(bench.contains("\"run_wall_ms_total\""), "{bench}");
+    assert!(bench.contains("\"results\":["), "{bench}");
+    fs::remove_dir_all(dir).unwrap();
+}
+
 #[test]
 fn partial_decode_via_binary_after_shard_loss() {
     let dir = temp_dir("partial");

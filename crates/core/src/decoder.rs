@@ -128,14 +128,25 @@ impl<F: GfElem, P: BlockPayload<F>> PlcDecoder<F, P> {
     ///
     /// Panics if `coefficients.len() != N`.
     pub fn insert_parts(&mut self, coefficients: Vec<F>, payload: P) -> InsertOutcome {
-        self.rref.insert(coefficients, payload)
+        if !prlc_obs::enabled() {
+            return self.rref.insert(coefficients, payload);
+        }
+        let before = self.profile.levels_in_prefix(self.rref.decoded_prefix());
+        let outcome = self.rref.insert(coefficients, payload);
+        let after = self.profile.levels_in_prefix(self.rref.decoded_prefix());
+        prlc_obs::counter!("core.decode.blocks").incr();
+        if after > before {
+            prlc_obs::counter!("core.decode.level_completions").add((after - before) as u64);
+            prlc_obs::histogram!("core.decode.blocks_at_level_completion")
+                .observe(self.rref.inserted() as u64);
+        }
+        outcome
     }
 }
 
 impl<F: GfElem, P: BlockPayload<F>> PriorityDecoder<F> for PlcDecoder<F, P> {
     fn insert_block(&mut self, block: &CodedBlock<F>) -> InsertOutcome {
-        self.rref
-            .insert(block.coefficients.clone(), P::from_block(block))
+        self.insert_parts(block.coefficients.clone(), P::from_block(block))
     }
 
     fn decoded_levels(&self) -> usize {
@@ -261,7 +272,18 @@ impl<F: GfElem, P: BlockPayload<F>> SlcDecoder<F, P> {
                 && coefficients[range.end..].iter().all(|c| c.is_zero()),
             "SLC block has coefficients outside its level support"
         );
-        self.levels[level].insert(coefficients[range].to_vec(), payload)
+        if !prlc_obs::enabled() {
+            return self.levels[level].insert(coefficients[range].to_vec(), payload);
+        }
+        let was_complete = self.levels[level].is_complete();
+        let outcome = self.levels[level].insert(coefficients[range].to_vec(), payload);
+        prlc_obs::counter!("core.decode.blocks").incr();
+        if !was_complete && self.levels[level].is_complete() {
+            prlc_obs::counter!("core.decode.level_completions").incr();
+            prlc_obs::histogram!("core.decode.blocks_at_level_completion")
+                .observe(self.processed as u64);
+        }
+        outcome
     }
 }
 

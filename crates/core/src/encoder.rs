@@ -121,6 +121,11 @@ impl Encoder {
                 }
             }
         }
+        if prlc_obs::enabled() {
+            prlc_obs::counter!("core.encode.coded_blocks").incr();
+            prlc_obs::counter!("core.encode.blocks_combined")
+                .add(self.degree.nonzeros(support_len, n) as u64);
+        }
         coeffs
     }
 

@@ -208,6 +208,23 @@ pub fn available_backends() -> Vec<Backend> {
 // Dispatched public entry points.
 // ---------------------------------------------------------------------------
 
+// Byte-volume accounting (`gf.<op>.bytes.<backend>` counters) for the
+// dispatched entry points. Everything — including backend resolution for
+// the argument expression — sits behind the `prlc_obs::enabled()` guard,
+// so the disabled cost is a single relaxed atomic load per call.
+macro_rules! record_bytes {
+    ($op:literal, $backend:expr, $slice:expr) => {
+        if prlc_obs::enabled() {
+            let counter = match $backend {
+                Backend::Scalar => prlc_obs::counter!(concat!("gf.", $op, ".bytes.scalar")),
+                Backend::Table => prlc_obs::counter!(concat!("gf.", $op, ".bytes.table")),
+                Backend::Simd => prlc_obs::counter!(concat!("gf.", $op, ".bytes.simd")),
+            };
+            counter.add(core::mem::size_of_val($slice) as u64);
+        }
+    };
+}
+
 /// `dst[i] += c * src[i]` for all `i` — the inner loop of Gaussian and
 /// Gauss–Jordan elimination and of encoding.
 ///
@@ -216,12 +233,14 @@ pub fn available_backends() -> Vec<Backend> {
 /// Panics if the slices have different lengths.
 pub fn axpy<F: GfElem>(dst: &mut [F], c: F, src: &[F]) {
     let (backend, level) = select();
+    record_bytes!("axpy", backend, src);
     axpy_impl(backend, level, dst, c, src);
 }
 
 /// `dst[i] *= c` for all `i`.
 pub fn scale_slice<F: GfElem>(dst: &mut [F], c: F) {
     let (backend, level) = select();
+    record_bytes!("scale", backend, &*dst);
     scale_slice_impl(backend, level, dst, c);
 }
 
@@ -233,6 +252,7 @@ pub fn scale_slice<F: GfElem>(dst: &mut [F], c: F) {
 ///
 /// Panics if the slices have different lengths.
 pub fn add_slice<F: GfElem>(dst: &mut [F], src: &[F]) {
+    record_bytes!("add", select().0, src);
     add_slice_impl(dst, src);
 }
 
@@ -242,7 +262,9 @@ pub fn add_slice<F: GfElem>(dst: &mut [F], src: &[F]) {
 ///
 /// Panics if the slices have different lengths.
 pub fn mul_slice<F: GfElem>(dst: &mut [F], src: &[F]) {
-    mul_slice_impl(select().0, dst, src);
+    let backend = select().0;
+    record_bytes!("mul", backend, src);
+    mul_slice_impl(backend, dst, src);
 }
 
 /// Dot product `sum_i a[i] * b[i]`.
@@ -251,7 +273,9 @@ pub fn mul_slice<F: GfElem>(dst: &mut [F], src: &[F]) {
 ///
 /// Panics if the slices have different lengths.
 pub fn dot<F: GfElem>(a: &[F], b: &[F]) -> F {
-    dot_impl(select().0, a, b)
+    let backend = select().0;
+    record_bytes!("dot", backend, a);
+    dot_impl(backend, a, b)
 }
 
 // ---------------------------------------------------------------------------

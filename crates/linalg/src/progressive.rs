@@ -212,6 +212,10 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
         }
 
         let Some(pc) = pivot_col else {
+            if prlc_obs::enabled() {
+                prlc_obs::counter!("linalg.rref.rows").incr();
+                prlc_obs::counter!("linalg.rref.redundant").incr();
+            }
             return InsertOutcome::Redundant;
         };
 
@@ -264,6 +268,14 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
         // in any later pivot column to be back-eliminated).
         while self.prefix < self.width && self.solved[self.prefix] {
             self.prefix += 1;
+        }
+
+        if prlc_obs::enabled() {
+            prlc_obs::counter!("linalg.rref.rows").incr();
+            prlc_obs::counter!("linalg.rref.pivots").incr();
+            // Rank-vs-rows-consumed trajectory: each innovation records
+            // how many rows had been consumed to reach the new rank.
+            prlc_obs::histogram!("linalg.rref.rows_per_pivot").observe(self.inserted as u64);
         }
 
         InsertOutcome::Innovative { pivot: pc }

@@ -210,6 +210,18 @@ where
     if target.is_none() && decoder.is_complete() {
         report.target_reached = true;
     }
+    if prlc_obs::enabled() {
+        // Per-session fault accounting, mirroring the report fields so a
+        // metrics dump can be reconciled against the returned struct.
+        prlc_obs::counter!("net.collect.sessions").incr();
+        prlc_obs::counter!("net.collect.blocks").add(report.blocks_collected as u64);
+        prlc_obs::counter!("net.collect.nodes_queried").add(report.nodes_queried as u64);
+        prlc_obs::counter!("net.collect.lost_messages").add(report.lost_messages as u64);
+        prlc_obs::counter!("net.collect.retries").add(report.retries as u64);
+        prlc_obs::counter!("net.collect.gave_up").add(report.gave_up as u64);
+        prlc_obs::counter!("net.collect.unreachable_nodes").add(report.unreachable_nodes as u64);
+        prlc_obs::histogram!("net.collect.query_hops").observe(report.query_hops as u64);
+    }
     Some(report)
 }
 

@@ -272,10 +272,17 @@ impl FaultSession {
             if fraction <= 0.0 {
                 continue;
             }
-            for d in self.down.iter_mut() {
+            for (i, d) in self.down.iter_mut().enumerate() {
                 if !*d && self.rng.gen_bool(fraction) {
                     *d = true;
                     self.crashed += 1;
+                    if prlc_obs::enabled() {
+                        prlc_obs::counter!("net.churn.crashed").incr();
+                        // Domain-separated ID: node index within the
+                        // session; the value is the (deterministic)
+                        // message step the crash interleaved with.
+                        prlc_obs::record_event("net.churn", i as u64, "crash", self.step as u64);
+                    }
                 }
             }
         }
@@ -285,7 +292,29 @@ impl FaultSession {
     /// hops: attempts transmissions under the link model until one gets
     /// through or the retry budget is spent, advancing the churn
     /// schedule one step per attempt.
+    ///
+    /// This is the single choke point every protocol's messages flow
+    /// through, so it also feeds the observability counters
+    /// (`net.messages.*`, `net.retries`, `net.gave_up`,
+    /// `net.unreachable`). Per physical transmission the identity
+    /// `sent == delivered + lost` holds, and per exchange
+    /// `retries <= lost <= retries + gave_up + unreachable`.
     pub fn attempt(&mut self, dest: NodeId, hops: usize) -> Delivery {
+        let delivery = self.attempt_uncounted(dest, hops);
+        if prlc_obs::enabled() {
+            prlc_obs::counter!("net.messages.sent").add(delivery.attempts as u64);
+            prlc_obs::counter!("net.messages.lost").add(delivery.lost as u64);
+            prlc_obs::counter!("net.retries").add(delivery.attempts.saturating_sub(1) as u64);
+            match delivery.outcome {
+                DeliveryOutcome::Delivered => prlc_obs::counter!("net.messages.delivered").incr(),
+                DeliveryOutcome::GaveUp => prlc_obs::counter!("net.gave_up").incr(),
+                DeliveryOutcome::Unreachable => prlc_obs::counter!("net.unreachable").incr(),
+            }
+        }
+        delivery
+    }
+
+    fn attempt_uncounted(&mut self, dest: NodeId, hops: usize) -> Delivery {
         let timed_out = self.link.timeout_hops.is_some_and(|t| hops > t);
         let mut attempts = 0usize;
         let mut lost = 0usize;

@@ -197,6 +197,23 @@ pub struct Deployment<F> {
 }
 
 impl<F: GfElem> Deployment<F> {
+    /// Builds a deployment directly from hand-made storage slots, with
+    /// empty run metrics.
+    ///
+    /// This bypasses the protocol entirely; it exists so tests and
+    /// validation harnesses can place arbitrary coded blocks on
+    /// arbitrary nodes (e.g. iid-sampled levels, which the real
+    /// protocol's deterministic `allocate` split never produces) and
+    /// then drive [`collect_with_faults`](crate::collect_with_faults)
+    /// over them.
+    pub fn from_slots(slots: Vec<StorageSlot<F>>, profile: PriorityProfile) -> Self {
+        Deployment {
+            slots,
+            metrics: DistributionMetrics::default(),
+            profile,
+        }
+    }
+
     /// All storage slots (one per derived location).
     pub fn slots(&self) -> &[StorageSlot<F>] {
         &self.slots
@@ -428,6 +445,21 @@ pub fn predistribute_with_faults<N: Network, F: GfElem, R: Rng + ?Sized>(
     }
 
     metrics.max_node_load = load.iter().copied().max().unwrap_or(0);
+
+    if prlc_obs::enabled() {
+        // Per-session fault accounting, mirroring the metrics struct.
+        prlc_obs::counter!("net.predistribute.sessions").incr();
+        prlc_obs::counter!("net.predistribute.messages").add(metrics.messages as u64);
+        prlc_obs::counter!("net.predistribute.failed_deliveries")
+            .add(metrics.failed_deliveries as u64);
+        prlc_obs::counter!("net.predistribute.lost_messages").add(metrics.lost_messages as u64);
+        prlc_obs::counter!("net.predistribute.retries").add(metrics.retries as u64);
+        prlc_obs::counter!("net.predistribute.gave_up").add(metrics.gave_up as u64);
+        prlc_obs::counter!("net.predistribute.unreachable_nodes")
+            .add(metrics.unreachable_nodes as u64);
+        prlc_obs::histogram!("net.predistribute.max_node_load")
+            .observe(metrics.max_node_load as u64);
+    }
 
     Ok(Deployment {
         slots,

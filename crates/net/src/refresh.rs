@@ -194,6 +194,17 @@ where
         slot.block = block;
         report.repaired += 1;
     }
+    if prlc_obs::enabled() {
+        // Per-session fault accounting, mirroring the report fields.
+        prlc_obs::counter!("net.refresh.sessions").incr();
+        prlc_obs::counter!("net.refresh.repaired").add(report.repaired as u64);
+        prlc_obs::counter!("net.refresh.unrepairable").add(report.unrepairable as u64);
+        prlc_obs::counter!("net.refresh.messages").add(report.messages as u64);
+        prlc_obs::counter!("net.refresh.lost_messages").add(report.lost_messages as u64);
+        prlc_obs::counter!("net.refresh.retries").add(report.retries as u64);
+        prlc_obs::counter!("net.refresh.gave_up").add(report.gave_up as u64);
+        prlc_obs::counter!("net.refresh.unreachable_nodes").add(report.unreachable_nodes as u64);
+    }
     Some(report)
 }
 

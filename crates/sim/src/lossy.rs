@@ -284,6 +284,18 @@ fn one_sweep_run<F: GfElem>(
             out.push(report.query_hops as f64);
         }
     }
+    if prlc_obs::enabled() {
+        // One structured trace entry per run: the run seed identifies the
+        // run, the value is the first cell's decoded level count — both
+        // deterministic, so the event stream survives snapshot sorting
+        // identically across thread counts.
+        prlc_obs::record_event(
+            "sim.lossy",
+            seed,
+            "run",
+            out.first().copied().unwrap_or(0.0) as u64,
+        );
+    }
     out
 }
 

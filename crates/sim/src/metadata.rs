@@ -21,6 +21,11 @@ pub struct RunMetadata {
     /// Measured GF(2⁸) `axpy` throughput over 64 KiB symbol slices, in
     /// MB/s (destination bytes written per second; 1 MB = 10⁶ bytes).
     pub symbol_throughput_mb_s: f64,
+    /// Total wall-clock time spent inside experiment runs, in
+    /// milliseconds, aggregated from the `sim.run` span timer when
+    /// metrics are enabled ([`RunMetadata::aggregate_obs_timing`]).
+    /// `None` when metrics were off; omitted from the JSON in that case.
+    pub run_wall_ms_total: Option<f64>,
 }
 
 impl RunMetadata {
@@ -31,6 +36,20 @@ impl RunMetadata {
             kernel_backend: kernel::active_backend_description(),
             threads,
             symbol_throughput_mb_s: measure_symbol_throughput_mb_s(),
+            run_wall_ms_total: None,
+        }
+    }
+
+    /// Fills [`run_wall_ms_total`](Self::run_wall_ms_total) from the
+    /// global `sim.run` span timer, if any runs were timed (metrics
+    /// enabled). Call after the experiment sweep finishes and before
+    /// serialising the metadata.
+    pub fn aggregate_obs_timing(&mut self) {
+        let snap = prlc_obs::snapshot();
+        if let Some((_, timer)) = snap.timers.iter().find(|(name, _)| *name == "sim.run") {
+            if timer.count > 0 {
+                self.run_wall_ms_total = Some(timer.total_nanos as f64 / 1e6);
+            }
         }
     }
 
@@ -48,11 +67,16 @@ impl RunMetadata {
         } else {
             "null".to_string()
         };
+        let wall = match self.run_wall_ms_total {
+            Some(ms) if ms.is_finite() => format!(",\"run_wall_ms_total\":{ms:.1}"),
+            _ => String::new(),
+        };
         format!(
-            "{{\"kernel_backend\":\"{}\",\"threads\":{},\"symbol_throughput_mb_s\":{}}}",
+            "{{\"kernel_backend\":\"{}\",\"threads\":{},\"symbol_throughput_mb_s\":{}{}}}",
             escape_json(&self.kernel_backend),
             self.threads,
-            throughput
+            throughput,
+            wall
         )
     }
 
@@ -64,11 +88,34 @@ impl RunMetadata {
     ///
     /// Propagates I/O failures.
     pub fn write_bench_json(&self, path: &Path, results_json: &str) -> std::io::Result<()> {
+        self.write_bench_json_with_metrics(path, results_json, None)
+    }
+
+    /// [`write_bench_json`](Self::write_bench_json) with an optional
+    /// metrics block: when `metrics_json` is `Some`, the envelope becomes
+    /// `{"run_metadata": ..., "metrics": ..., "results": ...}`.
+    /// `metrics_json` must already be valid JSON (e.g. a
+    /// [`prlc_obs::Snapshot`] rendering).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_bench_json_with_metrics(
+        &self,
+        path: &Path,
+        results_json: &str,
+        metrics_json: Option<&str>,
+    ) -> std::io::Result<()> {
         let mut f = std::fs::File::create(path)?;
+        let metrics = match metrics_json {
+            Some(m) => format!(",\"metrics\":{m}"),
+            None => String::new(),
+        };
         writeln!(
             f,
-            "{{\"run_metadata\":{},\"results\":{}}}",
+            "{{\"run_metadata\":{}{},\"results\":{}}}",
             self.to_json(),
+            metrics,
             results_json
         )
     }
@@ -137,10 +184,26 @@ mod tests {
             kernel_backend: "table".into(),
             threads: 8,
             symbol_throughput_mb_s: 1234.56,
+            run_wall_ms_total: None,
         };
         assert_eq!(
             meta.to_json(),
             "{\"kernel_backend\":\"table\",\"threads\":8,\"symbol_throughput_mb_s\":1234.6}"
+        );
+    }
+
+    #[test]
+    fn json_includes_wall_time_when_present() {
+        let meta = RunMetadata {
+            kernel_backend: "table".into(),
+            threads: 8,
+            symbol_throughput_mb_s: 1234.56,
+            run_wall_ms_total: Some(42.25),
+        };
+        assert_eq!(
+            meta.to_json(),
+            "{\"kernel_backend\":\"table\",\"threads\":8,\
+             \"symbol_throughput_mb_s\":1234.6,\"run_wall_ms_total\":42.2}"
         );
     }
 
@@ -151,6 +214,7 @@ mod tests {
                 kernel_backend: "table".into(),
                 threads: 2,
                 symbol_throughput_mb_s: bad,
+                run_wall_ms_total: None,
             };
             assert_eq!(
                 meta.to_json(),
@@ -174,11 +238,17 @@ mod tests {
             kernel_backend: "scalar".into(),
             threads: 1,
             symbol_throughput_mb_s: 10.0,
+            run_wall_ms_total: None,
         };
         meta.write_bench_json(&path, "[1,2,3]").unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"run_metadata\":{\"kernel_backend\":\"scalar\""));
         assert!(text.contains("\"results\":[1,2,3]"));
+
+        meta.write_bench_json_with_metrics(&path, "[1,2,3]", Some("{\"counters\":{}}"))
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(",\"metrics\":{\"counters\":{}},\"results\":[1,2,3]"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -82,8 +82,16 @@ where
     }
     let threads = threads.clamp(1, runs);
 
+    // Per-run wall-clock spans aggregate into the `sim.run` timer (and a
+    // run counter); the timer is excluded from deterministic snapshots.
+    let timed = |seed: u64| {
+        let _span = prlc_obs::timer!("sim.run").span();
+        prlc_obs::counter!("sim.runs").incr();
+        f(seed)
+    };
+
     if threads <= 1 {
-        return (0..runs).map(|i| f(run_seed(base_seed, i))).collect();
+        return (0..runs).map(|i| timed(run_seed(base_seed, i))).collect();
     }
 
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..runs).map(|_| None).collect());
@@ -95,7 +103,7 @@ where
                 if i >= runs {
                     break;
                 }
-                let out = f(run_seed(base_seed, i));
+                let out = timed(run_seed(base_seed, i));
                 results.lock().expect("runner mutex poisoned")[i] = Some(out);
             });
         }

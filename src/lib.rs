@@ -12,6 +12,7 @@
 //! | [`analysis`] | `prlc-analysis` | decoding-performance analysis & feasibility design (Sec. 3.3–3.4) |
 //! | [`net`] | `prlc-net` | geometric networks & pre-distribution protocol (Sec. 2, 4) |
 //! | [`sim`] | `prlc-sim` | evaluation harness: curves, CIs, tables (Sec. 5) |
+//! | [`obs`] | `prlc-obs` | opt-in deterministic metrics/tracing across every layer |
 //!
 //! The [`prelude`] re-exports the names needed by typical applications;
 //! the `examples/` directory contains runnable end-to-end scenarios and
@@ -51,6 +52,7 @@ pub use prlc_core as core;
 pub use prlc_gf as gf;
 pub use prlc_linalg as linalg;
 pub use prlc_net as net;
+pub use prlc_obs as obs;
 pub use prlc_sim as sim;
 
 /// The names most applications need.

@@ -184,3 +184,114 @@ fn network_collection_matches_in_memory_curve() {
         );
     }
 }
+
+/// The fault path agrees with the analysis closed-forms: per-level
+/// decode frequencies of lossy collection (30% loss, one retry) over
+/// iid-level deployments match `curves::survival` — the SLC
+/// eq. 1–6 / PLC Theorem 1 probabilities evaluated at each run's
+/// delivered block count — within binomial-CI tolerance.
+///
+/// The real protocol's `allocate` split produces deterministic level
+/// counts, which the multinomial closed forms do not model; the
+/// deployment here is built by hand via `Deployment::from_slots` with
+/// iid-sampled levels on distinct nodes, so that conditional on the
+/// number of delivered blocks the delivered composition is exactly the
+/// iid sampling model the analysis assumes (losses are independent of
+/// block levels).
+#[test]
+fn lossy_collection_matches_analysis_survival() {
+    use prlc::net::{collect_with_faults, Deployment, FaultPlan, NodeId, RetryPolicy, StorageSlot};
+    use rand::seq::SliceRandom;
+
+    let profile = PriorityProfile::new(vec![2, 2]).unwrap();
+    let n = profile.num_levels();
+    let dist = PriorityDistribution::from_weights(vec![0.45, 0.55]).unwrap();
+    let opts = AnalysisOptions::rank_exact(256.0);
+    let nodes = 32usize;
+    let locations = 12usize; // M
+    let runs = 400usize;
+
+    for scheme in [Scheme::Slc, Scheme::Plc] {
+        let encoder = Encoder::new(scheme, profile.clone());
+        let mut empirical = vec![0.0f64; n + 1];
+        let mut analytic = vec![0.0f64; n + 1];
+        for run in 0..runs as u64 {
+            let mut rng = StdRng::seed_from_u64(0xC0DE + run);
+            let net = RingNetwork::new(nodes, &mut rng);
+            let mut ids: Vec<usize> = (0..nodes).collect();
+            ids.shuffle(&mut rng);
+            let slots: Vec<StorageSlot<Gf256>> = ids[..locations]
+                .iter()
+                .map(|&node| {
+                    let level = dist.sample_level(&mut rng);
+                    StorageSlot {
+                        node: NodeId::new(node),
+                        level,
+                        block: encoder.encode_unpayloaded(level, &mut rng),
+                    }
+                })
+                .collect();
+            let dep = Deployment::from_slots(slots, profile.clone());
+
+            let plan = FaultPlan::lossy(0.3, RetryPolicy::with_retries(1, 1), 0xFA17 + run);
+            let mut faults = plan.session(net.node_count());
+            // A target above the level count disables early stopping, so
+            // every delivered block reaches the decoder and
+            // `blocks_collected` is exactly the closed forms' m.
+            let cfg = CollectionConfig {
+                target_levels: Some(n + 1),
+            };
+            let collector = net.random_alive_node(&mut rng).unwrap();
+            let (m, levels) = match scheme {
+                Scheme::Slc => {
+                    let mut dec: SlcDecoder<Gf256, ()> =
+                        SlcDecoder::coefficients_only(profile.clone());
+                    let r = collect_with_faults(
+                        &net,
+                        &dep,
+                        &mut dec,
+                        collector,
+                        &cfg,
+                        &mut faults,
+                        &mut rng,
+                    )
+                    .unwrap();
+                    (r.blocks_collected, dec.decoded_levels())
+                }
+                _ => {
+                    let mut dec: PlcDecoder<Gf256, ()> =
+                        PlcDecoder::coefficients_only(profile.clone());
+                    let r = collect_with_faults(
+                        &net,
+                        &dep,
+                        &mut dec,
+                        collector,
+                        &cfg,
+                        &mut faults,
+                        &mut rng,
+                    )
+                    .unwrap();
+                    (r.blocks_collected, dec.decoded_levels())
+                }
+            };
+            for k in 1..=n {
+                if levels >= k {
+                    empirical[k] += 1.0;
+                }
+                analytic[k] += curves::survival(scheme, &profile, &dist, m, k, &opts);
+            }
+        }
+        for k in 1..=n {
+            let emp = empirical[k] / runs as f64;
+            let ana = analytic[k] / runs as f64;
+            // 3σ binomial CI on the empirical frequency, plus a small
+            // model-mismatch allowance.
+            let p = ana.clamp(0.05, 0.95);
+            let tol = 3.0 * (p * (1.0 - p) / runs as f64).sqrt() + 0.03;
+            assert!(
+                (emp - ana).abs() < tol,
+                "{scheme} Pr(X>={k}): empirical {emp:.4} vs analytic {ana:.4} (tol {tol:.4})"
+            );
+        }
+    }
+}

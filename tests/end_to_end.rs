@@ -2,7 +2,9 @@
 //! failures → collection → payload-exact recovery, across both network
 //! substrates and both priority codes.
 
+use prlc::net::{collect_with_faults, ChurnEvent, FaultPlan, LinkModel, RetryPolicy};
 use prlc::prelude::*;
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -216,6 +218,110 @@ fn rlc_requires_full_collection_on_network_too() {
         }
     }
     assert!(dec.is_complete());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// PLC partial decoding is monotone under arbitrary churn: in any
+    /// seeded [`FaultPlan`] (loss × retry budget × one churn event), the
+    /// decoded-level trajectory never regresses, every block in the
+    /// decoded prefix is recovered bit-exact, level decodability is
+    /// prefix-closed (level k+1 decodable ⇒ level k decodable), and an
+    /// incomplete decode really is incomplete — the first undecoded
+    /// level has at least one unrecovered block.
+    #[test]
+    fn plc_partial_decode_is_monotone_under_churn(
+        seed in 0u64..10_000,
+        loss in 0.0f64..0.5,
+        retries in 0usize..3,
+        churn_after in 5usize..40,
+        churn_fraction in 0.0f64..0.4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = RingNetwork::new(60, &mut rng);
+        let profile = PriorityProfile::new(vec![2, 3, 4]).unwrap();
+        let data = sources(&mut rng, 9, 4);
+        let dep = predistribute(
+            &net,
+            &ProtocolConfig {
+                scheme: Scheme::Plc,
+                profile: profile.clone(),
+                distribution: PriorityDistribution::uniform(3),
+                locations: 36,
+                fanout: SourceFanout::All,
+                two_choices: true,
+                node_capacity: None,
+                shared_seed: seed,
+            },
+            &data,
+            &mut rng,
+        )
+        .unwrap();
+
+        let plan = FaultPlan {
+            link: LinkModel { loss, timeout_hops: None },
+            retry: RetryPolicy::with_retries(retries, 1),
+            churn: vec![ChurnEvent { after_messages: churn_after, fraction: churn_fraction }],
+            seed: seed ^ 0xFA17,
+        };
+        let mut faults = plan.session(net.node_count());
+        let mut dec = PlcDecoder::with_payloads(profile.clone());
+        let collector = net.random_alive_node(&mut rng).unwrap();
+        let report = collect_with_faults(
+            &net,
+            &dep,
+            &mut dec,
+            collector,
+            &CollectionConfig::default(),
+            &mut faults,
+            &mut rng,
+        )
+        .expect("collector is alive at session start");
+
+        // The decoded-level trajectory never regresses.
+        for w in report.levels_after_block.windows(2) {
+            prop_assert!(w[0] <= w[1], "trajectory regressed: {:?}", report.levels_after_block);
+        }
+
+        let x = dec.decoded_levels();
+        let n = profile.num_levels();
+
+        // Level decodability (all blocks of the level recovered) is
+        // prefix-closed: level k+1 decodable implies level k decodable.
+        let complete: Vec<bool> = (0..n)
+            .map(|lvl| profile.blocks_of(lvl).all(|i| dec.recovered(i).is_some()))
+            .collect();
+        for k in 1..n {
+            prop_assert!(
+                !complete[k] || complete[k - 1],
+                "level {} decodable but level {} is not (X={x})",
+                k + 1,
+                k
+            );
+        }
+
+        // Every block in the decoded prefix is recovered bit-exact.
+        for lvl in 0..x {
+            for i in profile.blocks_of(lvl) {
+                prop_assert_eq!(
+                    dec.recovered(i).expect("block in decoded prefix"),
+                    &data[i][..],
+                    "level {} block {} corrupt", lvl + 1, i
+                );
+            }
+        }
+
+        // An incomplete decode is honest: the first undecoded level has
+        // at least one unrecovered block.
+        if x < n {
+            prop_assert!(
+                !complete[x],
+                "X={x} but level {} is fully recovered",
+                x + 1
+            );
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,160 @@
+//! Conservation invariants of the `prlc-obs` network counters: the
+//! metrics recorder must tell the same story as the fault layer's own
+//! report structs, checked here *from the recorder side*.
+//!
+//! Every physical transmission either arrives or is lost, so across any
+//! workload `net.messages.sent == net.messages.delivered +
+//! net.messages.lost`; and because a retry is only spent on a lost
+//! transmission while the final loss of an abandoned or unreachable
+//! exchange is not retried, `net.retries <= net.messages.lost <=
+//! net.retries + net.gave_up + net.unreachable`.
+
+use prlc::obs;
+use prlc::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+use prlc::net::{
+    collect_with_faults, predistribute_with_faults, ChurnEvent, FaultPlan, LinkModel, RetryPolicy,
+};
+
+/// The obs registry is process-global; tests that enable it and read
+/// counter deltas must not interleave.
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn counter(snap: &obs::Snapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// Runs one predistribute + collect workload under the given fault knobs
+/// and returns the recorder's message-counter deltas as
+/// `(sent, delivered, lost, retries, gave_up, unreachable)`.
+fn message_deltas(
+    seed: u64,
+    loss: f64,
+    retries: usize,
+    churn_fraction: f64,
+) -> (u64, u64, u64, u64, u64, u64) {
+    let before = obs::snapshot();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = RingNetwork::new(50, &mut rng);
+    let profile = PriorityProfile::new(vec![2, 4]).unwrap();
+    let data: Vec<Vec<Gf256>> = vec![Vec::new(); profile.total_blocks()];
+    let plan = FaultPlan {
+        link: LinkModel {
+            loss,
+            timeout_hops: None,
+        },
+        retry: RetryPolicy::with_retries(retries, 1),
+        churn: vec![ChurnEvent {
+            after_messages: 15,
+            fraction: churn_fraction,
+        }],
+        seed: seed ^ 0x0B5,
+    };
+    let mut faults = plan.session(net.node_count());
+    let dep = predistribute_with_faults(
+        &net,
+        &ProtocolConfig {
+            scheme: Scheme::Plc,
+            profile: profile.clone(),
+            distribution: PriorityDistribution::uniform(2),
+            locations: 24,
+            fanout: SourceFanout::All,
+            two_choices: true,
+            node_capacity: None,
+            shared_seed: seed,
+        },
+        &data,
+        &mut faults,
+        &mut rng,
+    )
+    .unwrap();
+    let mut dec: PlcDecoder<Gf256, ()> = PlcDecoder::coefficients_only(profile);
+    if let Some(collector) = net.random_alive_node(&mut rng) {
+        if !faults.is_down(collector) {
+            let _ = collect_with_faults(
+                &net,
+                &dep,
+                &mut dec,
+                collector,
+                &CollectionConfig::default(),
+                &mut faults,
+                &mut rng,
+            );
+        }
+    }
+
+    let after = obs::snapshot();
+    let d = |name: &str| counter(&after, name) - counter(&before, name);
+    (
+        d("net.messages.sent"),
+        d("net.messages.delivered"),
+        d("net.messages.lost"),
+        d("net.retries"),
+        d("net.gave_up"),
+        d("net.unreachable"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn recorder_counters_conserve_messages(
+        seed in 0u64..100_000,
+        loss in 0.0f64..0.7,
+        retries in 0usize..4,
+        churn_fraction in 0.0f64..0.3,
+    ) {
+        let _guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        obs::enable();
+        let (sent, delivered, lost, retried, gave_up, unreachable) =
+            message_deltas(seed, loss, retries, churn_fraction);
+
+        // A non-trivial workload actually moved traffic.
+        prop_assert!(sent > 0, "workload sent no messages");
+
+        // Every transmission either arrives or is lost.
+        prop_assert_eq!(
+            sent,
+            delivered + lost,
+            "sent {} != delivered {} + lost {}",
+            sent,
+            delivered,
+            lost
+        );
+
+        // Retries are spent only on losses; the terminal loss of each
+        // abandoned or unreachable exchange is never retried.
+        prop_assert!(retried <= lost, "retries {retried} > lost {lost}");
+        prop_assert!(
+            lost <= retried + gave_up + unreachable,
+            "lost {} > retries {} + gave_up {} + unreachable {}",
+            lost,
+            retried,
+            gave_up,
+            unreachable
+        );
+    }
+}
+
+/// Lossless transport is silent on the loss-side counters, whatever the
+/// retry budget — the disabled-by-default recorder aside, a perfect link
+/// must not fabricate faults.
+#[test]
+fn perfect_link_records_no_losses() {
+    let _guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    obs::enable();
+    let (sent, delivered, lost, retried, gave_up, unreachable) = message_deltas(42, 0.0, 3, 0.0);
+    assert!(sent > 0);
+    assert_eq!(sent, delivered);
+    assert_eq!((lost, retried, gave_up, unreachable), (0, 0, 0, 0));
+}
