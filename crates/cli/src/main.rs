@@ -24,6 +24,7 @@ USAGE:
            [--max-blocks M] [--runs R] [--seed S] [--threads T]
            [--loss p1,p2,...] [--retries r1,r2,...]
            [--bench-out FILE] [--metrics FILE|-]
+  prlc lint [--root DIR] [--format text|json] [--allowlist FILE]
 
 The encoder splits FILE into priority levels (leading bytes = most
 important), generates overhead·N coded shards, and writes them plus a
@@ -50,6 +51,13 @@ FILE, or to stdout with `-`. Everything except the timers block is
 deterministic for a fixed seed, independent of thread count. The same
 snapshot is embedded as a \"metrics\" block in --bench-out envelopes.
 Setting PRLC_OBS=1 enables recording without a dump.
+
+`lint` runs the workspace invariant lints (determinism, unsafe-audit,
+metric-key registry, RNG domain separation, panic hygiene) over the
+repository sources. --root defaults to the nearest enclosing workspace;
+--allowlist defaults to <root>/lint-allowlist.txt. JSON output is
+deterministic (sorted findings, no timestamps). Exits nonzero when
+findings remain.
 ";
 
 fn main() -> ExitCode {
@@ -73,6 +81,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "decode" => cmd_decode(&args[1..]),
         "info" => cmd_info(&args[1..]),
         "sim" => cmd_sim(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -364,6 +373,38 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         println!("wrote curve + run metadata to {path}");
     }
     Ok(())
+}
+
+/// The `lint` subcommand: run the workspace invariant lints and report.
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let format = flag_value(args, "--format")?.unwrap_or_else(|| "text".to_string());
+    if format != "text" && format != "json" {
+        return Err(format!("--format must be text|json, got {format:?}"));
+    }
+    let allowlist = flag_value(args, "--allowlist")?.map(PathBuf::from);
+    let root = match flag_value(args, "--root")? {
+        Some(r) => PathBuf::from(r),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("getcwd: {e}"))?;
+            prlc_lint::find_workspace_root(&cwd).ok_or_else(|| {
+                format!(
+                    "could not find a workspace root above {} (pass --root)",
+                    cwd.display()
+                )
+            })?
+        }
+    };
+    let report = prlc_lint::run(&root, allowlist.as_deref()).map_err(|e| format!("lint: {e}"))?;
+    if format == "json" {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!("{} lint finding(s)", report.findings.len()))
+    }
 }
 
 /// Finalises a metrics-enabled `sim` run: folds the `sim.run` timer into

@@ -406,9 +406,12 @@ fn xor_slice_u64(dst: &mut [u8], src: &[u8]) {
     let mut d_chunks = dst.chunks_exact_mut(8);
     let mut s_chunks = src.chunks_exact(8);
     for (d, s) in d_chunks.by_ref().zip(s_chunks.by_ref()) {
-        let dw = u64::from_ne_bytes(<[u8; 8]>::try_from(&*d).expect("chunk is 8 bytes"));
-        let sw = u64::from_ne_bytes(<[u8; 8]>::try_from(s).expect("chunk is 8 bytes"));
-        d.copy_from_slice(&(dw ^ sw).to_ne_bytes());
+        let mut dw = [0u8; 8];
+        let mut sw = [0u8; 8];
+        dw.copy_from_slice(d);
+        sw.copy_from_slice(s);
+        let word = u64::from_ne_bytes(dw) ^ u64::from_ne_bytes(sw);
+        d.copy_from_slice(&word.to_ne_bytes());
     }
     for (d, s) in d_chunks
         .into_remainder()
@@ -483,10 +486,9 @@ mod plane {
             return None;
         }
         let len = std::mem::size_of_val(s);
-        // SAFETY: the guard admits only Gf16/Gf256/Gf64k, which are
-        // `repr(transparent)` over u8/u16 with no padding, so the slice
-        // is exactly `len` initialised bytes; u8 has no validity
-        // invariant.
+        // SAFETY: the guard admits only Gf16/Gf256/Gf64k — repr(transparent)
+        // over u8/u16 with no padding — so the slice is exactly `len`
+        // initialised bytes, and u8 has no validity invariant.
         Some(unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr().cast::<u8>(), len) })
     }
 
@@ -587,6 +589,8 @@ mod simd {
     mod x86 {
         use std::arch::x86_64::*;
 
+        // SAFETY: caller must verify SSSE3 support (detect() does) and pass
+        // slices of equal, 16-divisible length; only unaligned loads/stores.
         #[target_feature(enable = "ssse3")]
         pub(super) unsafe fn axpy_ssse3(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) {
             debug_assert_eq!(dst.len() % 16, 0);
@@ -604,6 +608,8 @@ mod simd {
             }
         }
 
+        // SAFETY: caller must verify SSSE3 support (detect() does) and pass a
+        // 16-divisible dst length; only unaligned loads/stores.
         #[target_feature(enable = "ssse3")]
         pub(super) unsafe fn scale_ssse3(dst: &mut [u8], lo: &[u8; 16], hi: &[u8; 16]) {
             debug_assert_eq!(dst.len() % 16, 0);
@@ -620,6 +626,8 @@ mod simd {
             }
         }
 
+        // SAFETY: caller must verify AVX2 support (detect() does) and pass
+        // slices of equal, 32-divisible length; only unaligned loads/stores.
         #[target_feature(enable = "avx2")]
         pub(super) unsafe fn axpy_avx2(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) {
             debug_assert_eq!(dst.len() % 32, 0);
@@ -637,6 +645,8 @@ mod simd {
             }
         }
 
+        // SAFETY: caller must verify AVX2 support (detect() does) and pass a
+        // 32-divisible dst length; only unaligned loads/stores.
         #[target_feature(enable = "avx2")]
         pub(super) unsafe fn scale_avx2(dst: &mut [u8], lo: &[u8; 16], hi: &[u8; 16]) {
             debug_assert_eq!(dst.len() % 32, 0);
@@ -658,6 +668,8 @@ mod simd {
     mod arm {
         use std::arch::aarch64::*;
 
+        // SAFETY: caller must verify NEON support (detect() does) and pass
+        // slices of equal, 16-divisible length; NEON loads are unaligned.
         #[target_feature(enable = "neon")]
         pub(super) unsafe fn axpy_neon(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) {
             debug_assert_eq!(dst.len() % 16, 0);
@@ -675,6 +687,8 @@ mod simd {
             }
         }
 
+        // SAFETY: caller must verify NEON support (detect() does) and pass a
+        // 16-divisible dst length; NEON loads are unaligned.
         #[target_feature(enable = "neon")]
         pub(super) unsafe fn scale_neon(dst: &mut [u8], lo: &[u8; 16], hi: &[u8; 16]) {
             debug_assert_eq!(dst.len() % 16, 0);

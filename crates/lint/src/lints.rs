@@ -1,0 +1,677 @@
+//! The five workspace invariant lints (plus the allowlist meta-lint).
+//!
+//! Each pass takes the scanned [`SourceFile`] set and appends
+//! [`Finding`]s. What each lint enforces — and why the invariant
+//! matters to the PRLC reproduction — is documented on the pass itself
+//! and summarised in DESIGN.md §"Static analysis & invariant lints".
+
+use crate::registry::{self, MetricKind, Registry};
+use crate::scan::{token_positions, FileKind, SourceFile};
+
+/// Lint identifiers. Ordering is the reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// Stale or malformed allowlist entries.
+    Allowlist,
+    /// L1: no nondeterministic containers, clocks or RNG sources.
+    Determinism,
+    /// L2: `unsafe` requires `// SAFETY:`; non-GF crates forbid unsafe.
+    UnsafeAudit,
+    /// L3: metric keys match the `docs/METRICS.md` registry.
+    MetricRegistry,
+    /// L4: seeded RNG in `prlc-net` goes through domain-separation mixes.
+    RngDomain,
+    /// L5: no `unwrap()`/`expect()` in library code.
+    PanicHygiene,
+}
+
+impl Lint {
+    /// Stable identifier used in reports and allowlist entries.
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::Allowlist => "L0-allowlist",
+            Lint::Determinism => "L1-determinism",
+            Lint::UnsafeAudit => "L2-unsafe-audit",
+            Lint::MetricRegistry => "L3-metric-registry",
+            Lint::RngDomain => "L4-rng-domain",
+            Lint::PanicHygiene => "L5-panic-hygiene",
+        }
+    }
+
+    /// Resolves `L5` or `L5-panic-hygiene` style ids.
+    pub fn from_id(s: &str) -> Option<Lint> {
+        let all = [
+            Lint::Allowlist,
+            Lint::Determinism,
+            Lint::UnsafeAudit,
+            Lint::MetricRegistry,
+            Lint::RngDomain,
+            Lint::PanicHygiene,
+        ];
+        all.into_iter()
+            .find(|l| l.id() == s || l.id().split('-').next() == Some(s))
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which lint fired.
+    pub lint: Lint,
+    /// The offending token / key / entry (allowlist match target).
+    pub token: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    fn new(file: &str, line: usize, lint: Lint, token: &str, message: String) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            lint,
+            token: token.to_string(),
+            message,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L1: determinism
+// ---------------------------------------------------------------------------
+
+/// Banned tokens and why. `HashMap`/`HashSet` iterate in randomized
+/// order; the clock and ambient RNG break bit-reproducibility of
+/// snapshots and simulated persistence under a pinned seed.
+const L1_BANNED: &[(&str, &str)] = &[
+    (
+        "HashMap",
+        "iteration order is nondeterministic; use BTreeMap or an index-keyed Vec",
+    ),
+    (
+        "HashSet",
+        "iteration order is nondeterministic; use BTreeSet or a sorted Vec",
+    ),
+    (
+        "SystemTime",
+        "wall clock breaks snapshot determinism; wall-clock reads are confined to the obs timer block and CLI",
+    ),
+    (
+        "Instant",
+        "wall clock breaks snapshot determinism; wall-clock reads are confined to the obs timer block and CLI",
+    ),
+    (
+        "thread_rng",
+        "ambient RNG is unseeded; derive a seeded StdRng through a domain-separation helper",
+    ),
+    (
+        "from_entropy",
+        "entropy-seeded RNG is irreproducible; derive the seed from the run's pinned seed",
+    ),
+    (
+        "rand::random",
+        "ambient RNG is unseeded; derive a seeded StdRng through a domain-separation helper",
+    ),
+];
+
+/// L1: scan non-test code for the banned tokens.
+pub fn l1_determinism(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for f in files {
+        if f.kind == FileKind::TestOnly {
+            continue;
+        }
+        for (i, code) in f.code.iter().enumerate() {
+            if f.is_test_line(i) {
+                continue;
+            }
+            for &(token, why) in L1_BANNED {
+                if !token_positions(code, token).is_empty() {
+                    out.push(Finding::new(
+                        &f.rel,
+                        i + 1,
+                        Lint::Determinism,
+                        token,
+                        format!("use of `{token}`: {why}"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L2: unsafe audit
+// ---------------------------------------------------------------------------
+
+/// How many raw lines above an `unsafe` token a `// SAFETY:` comment
+/// may sit and still count as adjacent (attributes like
+/// `#[target_feature(..)]` may intervene).
+const SAFETY_WINDOW: usize = 3;
+
+/// L2a: every `unsafe` token needs an adjacent `// SAFETY:` comment.
+/// Applies to test code too — an unsound test is still unsound.
+pub fn l2_unsafe_comments(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for f in files {
+        for (i, code) in f.code.iter().enumerate() {
+            if token_positions(code, "unsafe").is_empty() {
+                continue;
+            }
+            let lo = i.saturating_sub(SAFETY_WINDOW);
+            let documented = f.raw[lo..=i].iter().any(|l| l.contains("SAFETY:"));
+            if !documented {
+                out.push(Finding::new(
+                    &f.rel,
+                    i + 1,
+                    Lint::UnsafeAudit,
+                    "unsafe",
+                    "`unsafe` without an adjacent `// SAFETY:` comment (within 3 lines above)"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// L2b: every crate root except `prlc-gf` (which holds the audited
+/// kernel unsafe) must declare `#![forbid(unsafe_code)]`.
+pub fn l2_forbid_unsafe(roots: &[(&str, &str)], out: &mut Vec<Finding>) {
+    for &(rel, text) in roots {
+        if rel.starts_with("crates/gf/") {
+            continue;
+        }
+        if !text.contains("#![forbid(unsafe_code)]") {
+            out.push(Finding::new(
+                rel,
+                1,
+                Lint::UnsafeAudit,
+                "forbid_unsafe_code",
+                "crate root must declare #![forbid(unsafe_code)] (only prlc-gf may hold unsafe)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L3: metric-key registry
+// ---------------------------------------------------------------------------
+
+/// A metric-key use extracted from a macro call site. `pattern` may
+/// contain `*` where a macro argument (`$op`-style placeholder) stood.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyUse {
+    /// Workspace-relative path of the call site.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Which macro was called.
+    pub kind: MetricKind,
+    /// The key, with `*` wildcards for macro placeholders.
+    pub pattern: String,
+}
+
+const METRIC_MACROS: &[(&str, MetricKind)] = &[
+    ("counter!", MetricKind::Counter),
+    ("histogram!", MetricKind::Histogram),
+    ("timer!", MetricKind::Timer),
+];
+
+/// Extracts every metric-macro key use from non-test code.
+pub fn extract_key_uses(files: &[SourceFile]) -> Vec<KeyUse> {
+    let mut out = Vec::new();
+    for f in files {
+        if f.kind == FileKind::TestOnly {
+            continue;
+        }
+        for (i, code) in f.code.iter().enumerate() {
+            if f.is_test_line(i) {
+                continue;
+            }
+            for &(mac, kind) in METRIC_MACROS {
+                for pos in token_positions(code, mac) {
+                    let open = pos + mac.len();
+                    if code.as_bytes().get(open) != Some(&b'(') {
+                        continue; // `macro_rules! counter {` definition etc.
+                    }
+                    // Parse the argument from the string-preserving view,
+                    // joining a couple of continuation lines in case the
+                    // call wraps.
+                    let mut arg = f.keep[i][open..].to_string();
+                    for cont in f.keep.iter().skip(i + 1).take(2) {
+                        arg.push(' ');
+                        arg.push_str(cont);
+                    }
+                    if let Some(pattern) = parse_key_argument(&arg) {
+                        out.push(KeyUse {
+                            file: f.rel.clone(),
+                            line: i + 1,
+                            kind,
+                            pattern,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Builds a key pattern from a macro argument: string literals
+/// concatenate (handles `concat!("a.", $op, ".b")`), `$placeholder`s
+/// become `*` wildcards, other identifiers (`concat`) are skipped.
+/// Returns `None` when no literal or placeholder appears before the
+/// argument closes.
+fn parse_key_argument(arg: &str) -> Option<String> {
+    let b = arg.as_bytes();
+    debug_assert_eq!(b.first(), Some(&b'('));
+    let mut depth = 0i32;
+    let mut i = 0;
+    let mut key = String::new();
+    let mut saw_part = false;
+    while i < b.len() {
+        match b[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            b'"' => {
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' {
+                        i += 1;
+                    }
+                    key.push(b[i] as char);
+                    i += 1;
+                }
+                saw_part = true;
+            }
+            b'$' => {
+                key.push('*');
+                saw_part = true;
+                while i + 1 < b.len() && (b[i + 1].is_ascii_alphanumeric() || b[i + 1] == b'_') {
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    saw_part.then(|| {
+        // Collapse adjacent wildcards introduced by split placeholders.
+        let mut collapsed = String::with_capacity(key.len());
+        for c in key.chars() {
+            if c == '*' && collapsed.ends_with('*') {
+                continue;
+            }
+            collapsed.push(c);
+        }
+        collapsed
+    })
+}
+
+/// L3: cross-check extracted key uses against the registry — every use
+/// documented, no dead documented keys, types agree, registry itself
+/// well-formed.
+pub fn l3_metric_registry(
+    files: &[SourceFile],
+    metrics_md_rel: &str,
+    registry: &Registry,
+    out: &mut Vec<Finding>,
+) {
+    for p in &registry.problems {
+        out.push(Finding::new(
+            metrics_md_rel,
+            p.line,
+            Lint::MetricRegistry,
+            "registry",
+            p.message.clone(),
+        ));
+    }
+
+    let uses = extract_key_uses(files);
+    let mut emitted = vec![false; registry.entries.len()];
+    for u in &uses {
+        let mut matched_any = false;
+        let mut kind_clash: Option<&registry::RegistryEntry> = None;
+        for (idx, e) in registry.entries.iter().enumerate() {
+            if registry::pattern_matches(&u.pattern, &e.key) {
+                if e.kind == u.kind {
+                    emitted[idx] = true;
+                    matched_any = true;
+                } else {
+                    kind_clash = Some(e);
+                }
+            }
+        }
+        if !matched_any {
+            let message = match kind_clash {
+                Some(e) => format!(
+                    "metric key `{}` is documented as a {} (docs/METRICS.md line {}) but emitted via {}!",
+                    u.pattern,
+                    e.kind.name(),
+                    e.line,
+                    u.kind.name()
+                ),
+                None => format!(
+                    "undocumented metric key `{}`: add it to docs/METRICS.md (scheme layer.op[.unit][.backend])",
+                    u.pattern
+                ),
+            };
+            out.push(Finding::new(
+                &u.file,
+                u.line,
+                Lint::MetricRegistry,
+                &u.pattern,
+                message,
+            ));
+        }
+        if !u.pattern.contains('*') {
+            if let Err(msg) = registry::check_key_name(&u.pattern) {
+                out.push(Finding::new(
+                    &u.file,
+                    u.line,
+                    Lint::MetricRegistry,
+                    &u.pattern,
+                    msg,
+                ));
+            }
+        }
+    }
+    for (idx, e) in registry.entries.iter().enumerate() {
+        if !emitted[idx] {
+            out.push(Finding::new(
+                metrics_md_rel,
+                e.line,
+                Lint::MetricRegistry,
+                &e.key,
+                format!(
+                    "dead registry key `{}`: documented but no {}! call site emits it",
+                    e.key,
+                    e.kind.name()
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L4: RNG domain separation in prlc-net
+// ---------------------------------------------------------------------------
+
+/// L4: seeded RNG construction in non-test `prlc-net` code must pass
+/// its seed through a `mix_*` domain-separation helper (see
+/// `fault.rs::mix_fault_seed`) so fault, location and protocol streams
+/// can never alias.
+pub fn l4_rng_domain(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for f in files {
+        if !f.rel.starts_with("crates/net/src/") || f.kind == FileKind::TestOnly {
+            continue;
+        }
+        for (i, code) in f.code.iter().enumerate() {
+            if f.is_test_line(i) {
+                continue;
+            }
+            for needle in ["seed_from_u64", "from_seed"] {
+                if !token_positions(code, needle).is_empty() && !code.contains("mix_") {
+                    out.push(Finding::new(
+                        &f.rel,
+                        i + 1,
+                        Lint::RngDomain,
+                        needle,
+                        format!(
+                            "`{needle}` in prlc-net must derive its seed through a `mix_*` \
+                             domain-separation helper (see fault.rs) so RNG streams cannot alias"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L5: panic hygiene
+// ---------------------------------------------------------------------------
+
+/// Crates whose code is front-end/harness rather than library: panics
+/// on bad input are their error-reporting mechanism.
+const L5_EXEMPT_PREFIXES: &[&str] = &["crates/cli/", "crates/bench/"];
+
+/// L5: no `unwrap()`/`expect()` in library (non-test, non-CLI) code.
+/// Reviewed invariant panics go in the allowlist with a justification.
+pub fn l5_panic_hygiene(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for f in files {
+        if f.kind != FileKind::Lib || L5_EXEMPT_PREFIXES.iter().any(|p| f.rel.starts_with(p)) {
+            continue;
+        }
+        for (i, code) in f.code.iter().enumerate() {
+            if f.is_test_line(i) {
+                continue;
+            }
+            for (needle, token) in [(".unwrap()", "unwrap"), (".expect(", "expect")] {
+                if code.contains(needle) {
+                    out.push(Finding::new(
+                        &f.rel,
+                        i + 1,
+                        Lint::PanicHygiene,
+                        token,
+                        format!(
+                            "`{token}` in library code: propagate the Result/Option, or add an \
+                             allowlist entry with a justification if the panic is a reviewed \
+                             invariant"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::parse_metrics_md;
+
+    fn lib(rel: &str, src: &str) -> SourceFile {
+        SourceFile::scan(rel, FileKind::Lib, src)
+    }
+
+    // ---- L1 ----
+
+    #[test]
+    fn l1_fires_on_banned_tokens_in_code() {
+        let f = lib(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\nlet t = Instant::now();\n",
+        );
+        let mut out = Vec::new();
+        l1_determinism(&[f], &mut out);
+        let tokens: Vec<&str> = out.iter().map(|f| f.token.as_str()).collect();
+        assert_eq!(tokens, ["HashMap", "Instant"]);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn l1_ignores_comments_strings_and_test_code() {
+        let f = lib(
+            "crates/core/src/x.rs",
+            "// HashMap in prose\nlet m = \"an Instant msg\";\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n",
+        );
+        let mut out = Vec::new();
+        l1_determinism(&[f], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    // ---- L2 ----
+
+    #[test]
+    fn l2_fires_on_undocumented_unsafe_and_respects_safety_comments() {
+        let bad = lib(
+            "crates/gf/src/k.rs",
+            "fn f(p: *const u8) {\n    unsafe { p.read() };\n}\n",
+        );
+        let good = lib(
+            "crates/gf/src/k2.rs",
+            "fn f(p: *const u8) {\n    // SAFETY: p is valid for reads by contract.\n    unsafe { p.read() };\n}\n",
+        );
+        let mut out = Vec::new();
+        l2_unsafe_comments(&[bad, good], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, "crates/gf/src/k.rs");
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn l2_safety_comment_may_sit_above_attributes() {
+        let f = lib(
+            "crates/gf/src/k.rs",
+            "// SAFETY: callers checked the ssse3 feature.\n#[target_feature(enable = \"ssse3\")]\nunsafe fn kernel() {}\n",
+        );
+        let mut out = Vec::new();
+        l2_unsafe_comments(&[f], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn l2_forbid_attr_required_outside_gf() {
+        let mut out = Vec::new();
+        l2_forbid_unsafe(
+            &[
+                ("crates/net/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+                ("crates/sim/src/lib.rs", "//! docs only\n"),
+                ("crates/gf/src/lib.rs", "// gf is exempt\n"),
+            ],
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, "crates/sim/src/lib.rs");
+    }
+
+    // ---- L3 ----
+
+    const REG: &str = "\
+| `net.collect.blocks` | counter | blocks |
+| `gf.axpy.bytes.simd` | counter | bytes |
+| `gf.scale.bytes.simd` | counter | bytes |
+| `net.collect.query_hops` | histogram | hops |
+";
+
+    #[test]
+    fn l3_clean_when_uses_match_registry() {
+        let f = lib(
+            "crates/net/src/c.rs",
+            "prlc_obs::counter!(\"net.collect.blocks\").incr();\nprlc_obs::histogram!(\"net.collect.query_hops\").observe(1);\nprlc_obs::counter!(concat!(\"gf.\", $op, \".bytes.simd\"))\n",
+        );
+        let mut out = Vec::new();
+        l3_metric_registry(&[f], "docs/METRICS.md", &parse_metrics_md(REG), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn l3_flags_undocumented_dead_and_mistyped_keys() {
+        let f = lib(
+            "crates/net/src/c.rs",
+            "prlc_obs::counter!(\"net.collect.blocks\").incr();\nprlc_obs::counter!(\"net.rogue.key\").incr();\nprlc_obs::counter!(\"net.collect.query_hops\").incr();\nprlc_obs::counter!(\"gf.axpy.bytes.simd\").incr();\n",
+        );
+        let mut out = Vec::new();
+        l3_metric_registry(&[f], "docs/METRICS.md", &parse_metrics_md(REG), &mut out);
+        let msgs: Vec<&str> = out.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("undocumented metric key `net.rogue.key`")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("documented as a histogram") && m.contains("counter!")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("dead registry key `gf.scale.bytes.simd`")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn l3_ignores_keys_in_test_code_and_string_mentions() {
+        let f = lib(
+            "crates/obs/src/lib.rs",
+            "// counter!(\"doc.example\") in prose\nlet s = \"counter!(\";\n#[cfg(test)]\nmod tests {\n    fn t() { counter!(\"obs.test.macro\").add(1); }\n}\n",
+        );
+        let uses = extract_key_uses(&[f]);
+        assert!(uses.is_empty(), "{uses:?}");
+    }
+
+    // ---- L4 ----
+
+    #[test]
+    fn l4_requires_mix_helper_in_net() {
+        let bad = lib(
+            "crates/net/src/proto.rs",
+            "let rng = StdRng::seed_from_u64(cfg.seed);\n",
+        );
+        let good = lib(
+            "crates/net/src/fault.rs",
+            "let rng = StdRng::seed_from_u64(mix_fault_seed(self.seed));\n",
+        );
+        let elsewhere = lib(
+            "crates/sim/src/runner.rs",
+            "let rng = StdRng::seed_from_u64(seed);\n",
+        );
+        let mut out = Vec::new();
+        l4_rng_domain(&[bad, good, elsewhere], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, "crates/net/src/proto.rs");
+    }
+
+    // ---- L5 ----
+
+    #[test]
+    fn l5_fires_in_library_code_only() {
+        let libf = lib("crates/core/src/x.rs", "let v = opt.unwrap();\n");
+        let cli = lib("crates/cli/src/commands.rs", "let v = opt.unwrap();\n");
+        let binf = SourceFile::scan("crates/lint/src/main.rs", FileKind::Bin, "x.unwrap();\n");
+        let testf = SourceFile::scan("tests/e2e.rs", FileKind::TestOnly, "x.unwrap();\n");
+        let mut out = Vec::new();
+        l5_panic_hygiene(&[libf, cli, binf, testf], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, "crates/core/src/x.rs");
+        assert_eq!(out[0].token, "unwrap");
+    }
+
+    #[test]
+    fn l5_skips_cfg_test_regions() {
+        let f = lib(
+            "crates/core/src/x.rs",
+            "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.expect(\"fine in tests\"); }\n}\n",
+        );
+        let mut out = Vec::new();
+        l5_panic_hygiene(&[f], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn lint_ids_round_trip() {
+        for l in [
+            Lint::Allowlist,
+            Lint::Determinism,
+            Lint::UnsafeAudit,
+            Lint::MetricRegistry,
+            Lint::RngDomain,
+            Lint::PanicHygiene,
+        ] {
+            assert_eq!(Lint::from_id(l.id()), Some(l));
+            let short = l.id().split('-').next().expect("id has a dash");
+            assert_eq!(Lint::from_id(short), Some(l));
+        }
+        assert_eq!(Lint::from_id("L9"), None);
+    }
+}

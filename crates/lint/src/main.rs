@@ -1,0 +1,116 @@
+//! `prlc-lint` binary: run the workspace invariant lints.
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+prlc-lint: workspace invariant linter (determinism, unsafe-audit,
+metric-key registry, RNG domain separation, panic hygiene)
+
+USAGE:
+    prlc-lint [--root DIR] [--format text|json] [--allowlist FILE]
+
+OPTIONS:
+    --root DIR         workspace root (default: ascend from the current
+                       directory to the first dir with Cargo.toml + crates/)
+    --format FORMAT    `text` (default) or `json` (deterministic, sorted)
+    --allowlist FILE   allowlist file (default: <root>/lint-allowlist.txt,
+                       missing default file = empty allowlist)
+    -h, --help         print this help
+";
+
+struct Args {
+    root: Option<PathBuf>,
+    format: Format,
+    allowlist: Option<PathBuf>,
+}
+
+#[derive(PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        format: Format::Text,
+        allowlist: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a value")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--format" => {
+                args.format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("--format must be text|json, got {other:?}")),
+                };
+            }
+            "--allowlist" => {
+                let v = it.next().ok_or("--allowlist needs a value")?;
+                args.allowlist = Some(PathBuf::from(v));
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("prlc-lint: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match prlc_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "prlc-lint: could not find a workspace root above {} (pass --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match prlc_lint::run(&root, args.allowlist.as_deref()) {
+        Ok(report) => {
+            match args.format {
+                Format::Text => print!("{}", report.render_text()),
+                Format::Json => print!("{}", report.render_json()),
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("prlc-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Lexical source model: comment/string masking and test-region
+//! detection, shared by every lint pass.
+//!
+//! The linter deliberately stops at the lexical level (no `syn`, no
+//! parsing — consistent with the workspace's offline zero-dependency
+//! policy). A scanned file exposes three byte-aligned views of each
+//! line:
+//!
+//! * `raw` — the line as written (used to look for `// SAFETY:`
+//!   comments, which live *in* comments);
+//! * `code` — comments **and string-literal contents** blanked out
+//!   (used for token searches, so a banned identifier inside a doc
+//!   comment or an error message never fires);
+//! * `keep` — comments blanked but string literals intact (used to
+//!   extract metric-key literals once the `code` view has located a
+//!   real macro call).
+//!
+//! Masking replaces each masked *byte* with a space, so all three views
+//! have identical byte lengths and offsets found in one view index
+//! directly into the others.
+
+/// How a file participates in the lints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: every lint applies.
+    Lib,
+    /// Binary / example code (CLI front-ends, bench drivers): exempt
+    /// from the panic-hygiene lint, everything else applies.
+    Bin,
+    /// Test-only code (`tests/`, `benches/`, `proptests.rs`): exempt
+    /// from determinism, metric-registry, RNG and panic lints.
+    TestOnly,
+}
+
+/// One scanned source file with its masked views.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// How this file participates in the lints.
+    pub kind: FileKind,
+    /// Lines as written.
+    pub raw: Vec<String>,
+    /// Lines with comments and string contents masked.
+    pub code: Vec<String>,
+    /// Lines with comments masked, string literals intact.
+    pub keep: Vec<String>,
+    /// Per line: is it inside a `#[cfg(test)]`-gated block?
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Scans `text` into the three views plus the test-region map.
+    pub fn scan(rel: &str, kind: FileKind, text: &str) -> SourceFile {
+        let (code_all, keep_all) = mask_source(text);
+        let split = |s: &str| -> Vec<String> { s.lines().map(str::to_string).collect() };
+        let raw = split(text);
+        let code = split(&code_all);
+        let keep = split(&keep_all);
+        let in_test = test_regions(&code);
+        SourceFile {
+            rel: rel.to_string(),
+            kind,
+            raw,
+            code,
+            keep,
+            in_test,
+        }
+    }
+
+    /// Whether lexically non-test line `i` counts as test code (either
+    /// the whole file is test-only or the line sits in a cfg(test)
+    /// region).
+    pub fn is_test_line(&self, i: usize) -> bool {
+        self.kind == FileKind::TestOnly || self.in_test.get(i).copied().unwrap_or(false)
+    }
+}
+
+/// Classifies a workspace-relative path into a [`FileKind`].
+pub fn classify(rel: &str) -> FileKind {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let name = parts.last().copied().unwrap_or("");
+    if parts.contains(&"tests") || parts.contains(&"benches") || name == "proptests.rs" {
+        return FileKind::TestOnly;
+    }
+    if parts.contains(&"examples") || parts.contains(&"bin") || name == "main.rs" {
+        return FileKind::Bin;
+    }
+    FileKind::Lib
+}
+
+/// Produces the `(code, keep)` masked views of `text`. Both outputs
+/// have exactly the same byte length as the input; masked bytes become
+/// spaces, newlines and string/char delimiters survive in place.
+pub fn mask_source(text: &str) -> (String, String) {
+    let b = text.as_bytes();
+    let n = b.len();
+    let mut code = Vec::with_capacity(n);
+    let mut keep = Vec::with_capacity(n);
+
+    // Pushes one source byte into both views. `in_comment` masks both;
+    // `in_string` masks only the code view.
+    let push = |code: &mut Vec<u8>, keep: &mut Vec<u8>, byte: u8, comment: bool, string: bool| {
+        let masked = if byte == b'\n' { b'\n' } else { b' ' };
+        code.push(if comment || string { masked } else { byte });
+        keep.push(if comment { masked } else { byte });
+    };
+
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < n && b[i] != b'\n' {
+                push(&mut code, &mut keep, b[i], true, false);
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment; Rust block comments nest.
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    push(&mut code, &mut keep, b[i], true, false);
+                    push(&mut code, &mut keep, b[i + 1], true, false);
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    push(&mut code, &mut keep, b[i], true, false);
+                    push(&mut code, &mut keep, b[i + 1], true, false);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    push(&mut code, &mut keep, b[i], true, false);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (and raw-byte) strings: r"...", r#"..."#, br#"..."#, ...
+        if c == b'r' || (c == b'b' && b.get(i + 1) == Some(&b'r')) {
+            let prev_ident = i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+            let at = if c == b'b' { i + 1 } else { i };
+            let mut h = at + 1;
+            while b.get(h) == Some(&b'#') {
+                h += 1;
+            }
+            if !prev_ident && b.get(h) == Some(&b'"') {
+                let hashes = h - (at + 1);
+                // Prefix (r / br and the opening hashes) plus the quote.
+                while i <= h {
+                    push(&mut code, &mut keep, b[i], false, false);
+                    i += 1;
+                }
+                // Contents until `"` followed by `hashes` hashes.
+                loop {
+                    if i >= n {
+                        break;
+                    }
+                    if b[i] == b'"'
+                        && b[i + 1..].len() >= hashes
+                        && b[i + 1..].iter().take(hashes).all(|&x| x == b'#')
+                    {
+                        for _ in 0..=hashes {
+                            push(&mut code, &mut keep, b[i], false, false);
+                            i += 1;
+                        }
+                        break;
+                    }
+                    push(&mut code, &mut keep, b[i], false, true);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Plain (and byte) strings with escapes.
+        if c == b'"' || (c == b'b' && b.get(i + 1) == Some(&b'"')) {
+            if c == b'b' {
+                push(&mut code, &mut keep, b[i], false, false);
+                i += 1;
+            }
+            push(&mut code, &mut keep, b[i], false, false); // opening quote
+            i += 1;
+            while i < n {
+                if b[i] == b'\\' && i + 1 < n {
+                    push(&mut code, &mut keep, b[i], false, true);
+                    push(&mut code, &mut keep, b[i + 1], false, true);
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'"' {
+                    push(&mut code, &mut keep, b[i], false, false); // closing quote
+                    i += 1;
+                    break;
+                }
+                push(&mut code, &mut keep, b[i], false, true);
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime: consume `'x'` / `'\n'` / `b'x'`
+        // forms; a lone `'ident` is a lifetime and passes through.
+        if c == b'\'' || (c == b'b' && b.get(i + 1) == Some(&b'\'')) {
+            let q = if c == b'b' { i + 1 } else { i };
+            let end = if b.get(q + 1) == Some(&b'\\') {
+                // Escaped: find the closing quote.
+                b[q + 2..]
+                    .iter()
+                    .position(|&x| x == b'\'')
+                    .map(|p| q + 2 + p)
+            } else if b.get(q + 2) == Some(&b'\'') && b.get(q + 1) != Some(&b'\'') {
+                Some(q + 2)
+            } else {
+                None
+            };
+            if let Some(end) = end {
+                while i <= end {
+                    let delim = i == q || i == end;
+                    push(&mut code, &mut keep, b[i], false, !delim);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        push(&mut code, &mut keep, c, false, false);
+        i += 1;
+    }
+
+    // Masked regions are pure ASCII; unmasked bytes are copied verbatim
+    // from a valid UTF-8 input, so both views are valid UTF-8.
+    (
+        String::from_utf8(code).unwrap_or_default(),
+        String::from_utf8(keep).unwrap_or_default(),
+    )
+}
+
+/// Marks the lines belonging to `#[cfg(test)]`-gated brace blocks.
+///
+/// Lexical rule: after a line carrying a `#[cfg(test…)]` attribute, the
+/// next `{` opens a test region that ends when its brace closes; a `;`
+/// seen first cancels (out-of-line `mod proptests;`, gated `use`, …).
+fn test_regions(code_lines: &[String]) -> Vec<bool> {
+    let mut out = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    // Brace depths at which currently-open test regions started.
+    let mut stack: Vec<i64> = Vec::new();
+    for (i, line) in code_lines.iter().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with('#') && (line.contains("cfg(test") || line.contains("cfg(all(test"))
+        {
+            pending = true;
+        }
+        let mut test_here = !stack.is_empty();
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    if pending {
+                        stack.push(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                    test_here |= !stack.is_empty();
+                }
+                '}' => {
+                    depth -= 1;
+                    if stack.last().is_some_and(|&d| depth <= d) {
+                        stack.pop();
+                    }
+                }
+                ';' if pending && stack.is_empty() => pending = false,
+                _ => {}
+            }
+        }
+        out[i] = test_here;
+    }
+    out
+}
+
+/// Byte offsets of identifier-boundary occurrences of `needle` in
+/// `haystack`: the bytes immediately before and after the match must
+/// not be identifier characters (`[A-Za-z0-9_]`).
+pub fn token_positions(haystack: &str, needle: &str) -> Vec<usize> {
+    fn ident(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || b == b'_'
+    }
+    let mut out = Vec::new();
+    let hb = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(p) = haystack[from..].find(needle) {
+        let at = from + p;
+        let end = at + needle.len();
+        let ok_before = at == 0 || !ident(hb[at - 1]);
+        let ok_after = end >= hb.len() || !ident(hb[end]);
+        if ok_before && ok_after {
+            out.push(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_hides_comments_and_string_contents() {
+        let src =
+            "let x = 1; // HashMap in a comment\nlet s = \"Instant inside\"; /* SystemTime */\n";
+        let (code, keep) = mask_source(src);
+        assert_eq!(code.len(), src.len());
+        assert_eq!(keep.len(), src.len());
+        assert!(!code.contains("HashMap"));
+        assert!(!code.contains("Instant"));
+        assert!(!code.contains("SystemTime"));
+        assert!(!keep.contains("HashMap"), "comments masked in keep view");
+        assert!(keep.contains("Instant inside"), "strings kept in keep view");
+        assert!(code.contains("let x = 1;"));
+        // Delimiters survive so offsets line up.
+        assert!(code.contains('"'));
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_chars_and_lifetimes() {
+        let src = r####"let a = r#"HashMap "quoted""#; let c = '"'; let l: &'static str = "x"; let e = '\n';"####;
+        let (code, keep) = mask_source(src);
+        assert!(!code.contains("HashMap"));
+        assert!(keep.contains("HashMap"));
+        assert!(code.contains("&'static str"), "lifetime untouched: {code}");
+        // The `'"'` char literal's quote must not open a string: the
+        // code after it survives masking.
+        assert!(code.contains("let l"));
+        assert!(
+            code.ends_with("let e = '  ';"),
+            "escaped char masked: {code}"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_are_masked() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let (code, _) = mask_source(src);
+        assert!(!code.contains("inner"));
+        assert!(!code.contains("still"));
+        assert!(code.contains('a') && code.contains('b'));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mod_blocks_only() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let f = SourceFile::scan("x.rs", FileKind::Lib, src);
+        assert!(!f.is_test_line(0));
+        assert!(f.is_test_line(3), "inside cfg(test) mod");
+        assert!(!f.is_test_line(5), "after the mod closes");
+    }
+
+    #[test]
+    fn out_of_line_test_mod_does_not_open_a_region() {
+        let src = "#[cfg(test)]\nmod proptests;\nfn live() { brace(); }\n";
+        let f = SourceFile::scan("lib.rs", FileKind::Lib, src);
+        assert!(!f.is_test_line(2), "`;` cancels the pending attribute");
+    }
+
+    #[test]
+    fn token_positions_respect_identifier_boundaries() {
+        assert_eq!(token_positions("unsafe_code unsafe", "unsafe"), vec![12]);
+        assert_eq!(token_positions("MyInstant Instant", "Instant"), vec![10]);
+        assert!(token_positions("xInstanty", "Instant").is_empty());
+    }
+
+    #[test]
+    fn classify_kinds() {
+        assert_eq!(classify("crates/gf/src/kernel.rs"), FileKind::Lib);
+        assert_eq!(classify("crates/cli/src/main.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/bench/src/bin/fig4.rs"), FileKind::Bin);
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Bin);
+        assert_eq!(classify("tests/end_to_end.rs"), FileKind::TestOnly);
+        assert_eq!(classify("crates/net/src/proptests.rs"), FileKind::TestOnly);
+        assert_eq!(
+            classify("crates/bench/benches/gf_ops.rs"),
+            FileKind::TestOnly
+        );
+    }
+}

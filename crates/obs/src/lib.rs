@@ -57,10 +57,32 @@ use std::time::Instant;
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static ENV_INIT: Once = Once::new();
 
+/// Parses a `PRLC_OBS` value: `1`/`true` enables, `0`/`false`/empty
+/// disables (both case-insensitive, surrounding whitespace ignored).
+/// `Err` means the value is malformed and should be warned about.
+fn parse_obs_env(value: &str) -> Result<bool, ()> {
+    let v = value.trim();
+    if v == "1" || v.eq_ignore_ascii_case("true") {
+        Ok(true)
+    } else if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false") {
+        Ok(false)
+    } else {
+        Err(())
+    }
+}
+
 fn init_from_env() {
     ENV_INIT.call_once(|| {
-        if std::env::var("PRLC_OBS").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true")) {
-            ENABLED.store(true, Ordering::Relaxed);
+        if let Ok(v) = std::env::var("PRLC_OBS") {
+            match parse_obs_env(&v) {
+                Ok(on) => ENABLED.store(on, Ordering::Relaxed),
+                // Mirror runner::default_threads: a malformed value is
+                // ignored, but loudly and only once.
+                Err(()) => eprintln!(
+                    "warning: ignoring PRLC_OBS={v:?} (expected 1/true to enable or \
+                     0/false to disable); observability stays disabled"
+                ),
+            }
         }
     });
 }
@@ -683,6 +705,21 @@ mod tests {
 
     fn guarded() -> std::sync::MutexGuard<'static, ()> {
         TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn obs_env_values_parse_or_flag_malformed() {
+        assert_eq!(parse_obs_env("1"), Ok(true));
+        assert_eq!(parse_obs_env("true"), Ok(true));
+        assert_eq!(parse_obs_env("TRUE"), Ok(true));
+        assert_eq!(parse_obs_env(" 1 "), Ok(true));
+        assert_eq!(parse_obs_env("0"), Ok(false));
+        assert_eq!(parse_obs_env("false"), Ok(false));
+        assert_eq!(parse_obs_env(""), Ok(false));
+        // Malformed values must be reported, not silently disabled.
+        assert_eq!(parse_obs_env("yes"), Err(()));
+        assert_eq!(parse_obs_env("on"), Err(()));
+        assert_eq!(parse_obs_env("2"), Err(()));
     }
 
     #[test]

@@ -104,14 +104,17 @@ where
                     break;
                 }
                 let out = timed(run_seed(base_seed, i));
-                results.lock().expect("runner mutex poisoned")[i] = Some(out);
+                // Poison only means another worker panicked while
+                // holding the guard; the Vec slot assignment below is
+                // still well-defined, so recover the guard.
+                results.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(out);
             });
         }
     });
 
     results
         .into_inner()
-        .expect("runner mutex poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
         .map(|r| r.expect("every run index was claimed"))
         .collect()

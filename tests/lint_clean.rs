@@ -1,0 +1,46 @@
+//! Tier-1 gate: the workspace must stay invariant-lint-clean.
+//!
+//! `prlc-lint` enforces the repo's correctness invariants (determinism,
+//! unsafe-audit, metric-key registry, RNG domain separation, panic
+//! hygiene) as machine checks; this test makes any violation a test
+//! failure so it cannot land unnoticed even without the CI job.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = prlc_lint::run(workspace_root(), None).expect("lint walk failed");
+    assert!(
+        report.clean(),
+        "workspace has lint findings:\n{}",
+        report.render_text()
+    );
+    // Guard against the walk silently scanning nothing (e.g. a skip-list
+    // regression would make `clean()` vacuously true).
+    assert!(
+        report.files_scanned >= 60,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    assert!(
+        report.allowlist_entries > 0,
+        "lint-allowlist.txt was not picked up"
+    );
+}
+
+#[test]
+fn json_report_is_deterministic() {
+    let root = workspace_root();
+    let a = prlc_lint::run(root, None)
+        .expect("lint walk failed")
+        .render_json();
+    let b = prlc_lint::run(root, None)
+        .expect("lint walk failed")
+        .render_json();
+    assert_eq!(a, b, "two identical lint runs rendered different JSON");
+    assert!(a.contains("\"clean\": true"), "{a}");
+}
