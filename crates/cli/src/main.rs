@@ -24,6 +24,9 @@ USAGE:
            [--max-blocks M] [--runs R] [--seed S] [--threads T]
            [--loss p1,p2,...] [--retries r1,r2,...]
            [--bench-out FILE] [--metrics FILE|-]
+           [--trace FILE|-] [--trace-format json|chrome]
+  prlc trace [--scheme rlc|slc|plc] [--levels a,b,c] [--max-blocks M]
+             [--seed S] [--out FILE|-] [--format json|chrome]
   prlc lint [--root DIR] [--format text|json] [--allowlist FILE]
 
 The encoder splits FILE into priority levels (leading bytes = most
@@ -51,6 +54,21 @@ FILE, or to stdout with `-`. Everything except the timers block is
 deterministic for a fixed seed, independent of thread count. The same
 snapshot is embedded as a \"metrics\" block in --bench-out envelopes.
 Setting PRLC_OBS=1 enables recording without a dump.
+
+--trace enables the deterministic causal tracer and dumps the recorded
+spans and instant events — stamped with logical clocks, one track per
+Monte-Carlo run — to FILE, or stdout with `-`. --trace-format picks
+the deterministic JSON layout (default) or the Chrome Trace Event
+format, loadable in Perfetto / chrome://tracing. Dumps are
+byte-identical across --threads values and kernel backends; the dump
+is also embedded as a \"trace\" block in --bench-out envelopes. At
+most one of --trace and --metrics may target stdout. PRLC_TRACE=1
+enables recording without a dump.
+
+`trace` replays one pinned-seed decoding run (coding schemes only)
+with the tracer on and prints the per-level decode waterfall: the
+number of coded blocks consumed when each priority level unlocked.
+--out additionally exports the raw trace like `sim --trace`.
 
 `lint` runs the workspace invariant lints (determinism, unsafe-audit,
 metric-key registry, RNG domain separation, panic hygiene) over the
@@ -81,6 +99,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "decode" => cmd_decode(&args[1..]),
         "info" => cmd_info(&args[1..]),
         "sim" => cmd_sim(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -287,6 +306,23 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     if metrics_out.is_some() {
         prlc_obs::enable();
     }
+    let trace_out = flag_value(args, "--trace")?;
+    let trace_format = flag_value(args, "--trace-format")?.unwrap_or_else(|| "json".to_string());
+    if trace_format != "json" && trace_format != "chrome" {
+        return Err(format!(
+            "--trace-format must be json|chrome, got {trace_format:?}"
+        ));
+    }
+    if trace_out.as_deref() == Some("-") && metrics_out.as_deref() == Some("-") {
+        return Err(
+            "--trace - and --metrics - both target stdout and would interleave; \
+                    write at least one of them to a file"
+                .into(),
+        );
+    }
+    if trace_out.is_some() {
+        prlc_obs::trace::enable();
+    }
 
     // Run header: environment first, so perf numbers in the output are
     // attributable to a backend and worker count.
@@ -296,6 +332,9 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         // number of kernel iterations; drop those counts so the snapshot
         // reflects only the (deterministic) experiment itself.
         prlc_obs::reset();
+    }
+    if prlc_obs::trace::enabled() {
+        prlc_obs::trace::reset();
     }
     println!(
         "prlc sim — kernel backend {}, {} threads, {} MB/s symbol throughput",
@@ -350,6 +389,10 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         Some(dest) => Some(finish_metrics(&mut meta, dest)?),
         None => None,
     };
+    let trace_json = match trace_out.as_deref() {
+        Some(dest) => Some(finish_trace(dest, &trace_format)?),
+        None => None,
+    };
 
     if let Some(path) = flag_value(args, "--bench-out")? {
         let results: Vec<String> = curve
@@ -364,10 +407,11 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
             })
             .collect();
         let json = format!("[{}]", results.join(","));
-        meta.write_bench_json_with_metrics(
+        meta.write_bench_json_with_blocks(
             std::path::Path::new(&path),
             &json,
             metrics_json.as_deref(),
+            trace_json.as_deref(),
         )
         .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote curve + run metadata to {path}");
@@ -421,6 +465,118 @@ fn finish_metrics(meta: &mut RunMetadata, dest: &str) -> Result<String, String> 
         println!("wrote metrics to {dest}");
     }
     Ok(json)
+}
+
+/// Finalises a trace-enabled run: renders the recorded trace in the
+/// requested format and delivers it to `dest` (`-` = stdout). Returns
+/// the rendering so callers can also embed it in a bench envelope.
+fn finish_trace(dest: &str, format: &str) -> Result<String, String> {
+    let snap = prlc_obs::trace::snapshot();
+    let rendered = match format {
+        "chrome" => snap.to_chrome_trace(),
+        _ => snap.to_json(),
+    };
+    if dest == "-" {
+        println!("{rendered}");
+    } else {
+        std::fs::write(dest, format!("{rendered}\n"))
+            .map_err(|e| format!("writing {dest}: {e}"))?;
+        println!("wrote trace to {dest}");
+    }
+    Ok(rendered)
+}
+
+/// The `trace` subcommand: replay one pinned-seed decoding run with the
+/// causal tracer on and print the per-level decode waterfall (coded
+/// blocks consumed at each level unlock).
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let scheme = match flag_value(args, "--scheme")?
+        .map(|s| s.to_ascii_lowercase())
+        .as_deref()
+    {
+        None | Some("plc") => Scheme::Plc,
+        Some("rlc") => Scheme::Rlc,
+        Some("slc") => Scheme::Slc,
+        Some(_) => return Err("trace: bad --scheme (rlc|slc|plc)".into()),
+    };
+    let level_sizes: Vec<usize> = match flag_value(args, "--levels")? {
+        Some(v) => v
+            .split(',')
+            .map(|s| s.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| "bad --levels (expect e.g. 2,3,5)")?,
+        None => vec![2, 3, 5],
+    };
+    let profile = PriorityProfile::new(level_sizes).map_err(|e| format!("bad --levels: {e}"))?;
+    let max_blocks = match flag_value(args, "--max-blocks")? {
+        Some(v) => v.parse().map_err(|_| "bad --max-blocks")?,
+        None => 3 * profile.total_blocks(),
+    };
+    let seed = match flag_value(args, "--seed")? {
+        Some(v) => v.parse().map_err(|_| "bad --seed")?,
+        None => 1,
+    };
+    let out = flag_value(args, "--out")?;
+    let format = flag_value(args, "--format")?.unwrap_or_else(|| "json".to_string());
+    if format != "json" && format != "chrome" {
+        return Err(format!("--format must be json|chrome, got {format:?}"));
+    }
+
+    print_kernel_header("trace");
+    println!(
+        "scheme {}, levels {:?}, 1 run, seed {seed}",
+        Persistence::Coding(scheme),
+        (0..profile.num_levels())
+            .map(|l| profile.blocks_of(l).count())
+            .collect::<Vec<_>>()
+    );
+
+    prlc_obs::trace::enable();
+    prlc_obs::trace::reset();
+    let cfg = CurveConfig {
+        persistence: Persistence::Coding(scheme),
+        profile: profile.clone(),
+        distribution: PriorityDistribution::uniform(profile.num_levels()),
+        max_blocks,
+        runs: 1,
+        seed,
+    };
+    simulate_decoding_curve_with_threads::<Gf256>(&cfg, 1);
+    let snap = prlc_obs::trace::snapshot();
+
+    // Per-level unlock ticks from the provenance instants: tick is the
+    // count of coded blocks the decoder had consumed at the unlock.
+    let mut unlock: Vec<Option<u64>> = vec![None; profile.num_levels()];
+    for (_, rec) in snap.iter() {
+        if rec.name() != "core.decode.level_unlock" {
+            continue;
+        }
+        if let Some(level) = rec.arg("level") {
+            if let Some(slot) = unlock.get_mut(level as usize) {
+                slot.get_or_insert(rec.tick());
+            }
+        }
+    }
+
+    let mut table = Table::new(["level", "size", "rows-to-unlock"]);
+    for l in 0..profile.num_levels() {
+        table.push_row([
+            (l + 1).to_string(),
+            profile.blocks_of(l).count().to_string(),
+            unlock[l].map_or_else(|| "-".to_string(), |t| t.to_string()),
+        ]);
+    }
+    println!("{}", table.render());
+    let unlocked = unlock.iter().filter(|u| u.is_some()).count();
+    println!(
+        "{unlocked}/{} levels unlocked within {max_blocks} coded blocks",
+        profile.num_levels()
+    );
+
+    if let Some(dest) = out {
+        finish_trace(&dest, &format)?;
+    }
+    Ok(())
 }
 
 /// The `sim --loss/--retries` path: collection over a fault-injected
@@ -511,12 +667,19 @@ fn cmd_sim_lossy(
         Some(dest) => Some(finish_metrics(meta, dest)?),
         None => None,
     };
+    let trace_out = flag_value(args, "--trace")?;
+    let trace_format = flag_value(args, "--trace-format")?.unwrap_or_else(|| "json".to_string());
+    let trace_json = match trace_out.as_deref() {
+        Some(dest) => Some(finish_trace(dest, &trace_format)?),
+        None => None,
+    };
 
     if let Some(path) = flag_value(args, "--bench-out")? {
-        meta.write_bench_json_with_metrics(
+        meta.write_bench_json_with_blocks(
             std::path::Path::new(&path),
             &sweep.results_json(),
             metrics_json.as_deref(),
+            trace_json.as_deref(),
         )
         .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote lossy-collection sweep + run metadata to {path}");

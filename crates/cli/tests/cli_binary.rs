@@ -187,6 +187,162 @@ fn metrics_file_and_bench_envelope() {
     fs::remove_dir_all(dir).unwrap();
 }
 
+/// Extracts the trace JSON line from `sim --trace -` stdout. The trace
+/// dump contains no wall-clock content, so no stripping is needed.
+fn trace_line(stdout: &[u8]) -> String {
+    let text = String::from_utf8_lossy(stdout);
+    text.lines()
+        .find(|l| l.starts_with("{\"tracks\""))
+        .unwrap_or_else(|| panic!("no trace line in output:\n{text}"))
+        .to_string()
+}
+
+/// The pinned-seed trace dump is byte-identical across worker thread
+/// counts: records are grouped per run-seed track, not per thread.
+#[test]
+fn trace_dump_is_thread_count_independent() {
+    let run = |threads: &str| {
+        let out = prlc()
+            .args([
+                "sim",
+                "--loss",
+                "0.3",
+                "--retries",
+                "2",
+                "--runs",
+                "20",
+                "--seed",
+                "7",
+                "--trace",
+                "-",
+            ])
+            .env("PRLC_THREADS", threads)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "sim --trace failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        trace_line(&out.stdout)
+    };
+    let single = run("1");
+    let multi = run("4");
+    assert!(
+        single.contains("\"name\":\"net.collect.session\""),
+        "missing session spans: {single}"
+    );
+    assert!(
+        single.contains("\"name\":\"core.decode.level_unlock\""),
+        "missing unlock provenance: {single}"
+    );
+    assert_eq!(single, multi, "trace depends on thread count");
+}
+
+/// `--trace - --metrics -` would interleave two JSON documents on one
+/// stream; the CLI must refuse instead of corrupting both.
+#[test]
+fn trace_and_metrics_cannot_both_target_stdout() {
+    let out = prlc()
+        .args([
+            "sim",
+            "--runs",
+            "2",
+            "--seed",
+            "1",
+            "--trace",
+            "-",
+            "--metrics",
+            "-",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("interleave"), "{err}");
+}
+
+/// `--trace FILE` writes the dump to disk (Chrome format on request)
+/// and `--bench-out` embeds the JSON form as a `trace` envelope block.
+#[test]
+fn trace_file_formats_and_bench_envelope() {
+    let dir = temp_dir("trace");
+    let trace_path = dir.join("trace.json");
+    let bench_path = dir.join("BENCH_sim.json");
+    let out = prlc()
+        .args([
+            "sim",
+            "--loss",
+            "0.2",
+            "--retries",
+            "1",
+            "--runs",
+            "5",
+            "--seed",
+            "3",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--bench-out",
+            bench_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace = fs::read_to_string(&trace_path).unwrap();
+    assert!(trace.starts_with("{\"tracks\""), "{trace}");
+    let bench = fs::read_to_string(&bench_path).unwrap();
+    assert!(bench.contains("\"trace\":{\"tracks\""), "{bench}");
+    assert!(bench.contains("\"results\":["), "{bench}");
+
+    let chrome_path = dir.join("trace.chrome.json");
+    let out = prlc()
+        .args([
+            "sim",
+            "--runs",
+            "3",
+            "--seed",
+            "3",
+            "--trace",
+            chrome_path.to_str().unwrap(),
+            "--trace-format",
+            "chrome",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let chrome = fs::read_to_string(&chrome_path).unwrap();
+    assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+    assert!(chrome.contains("\"ph\":\"M\""), "{chrome}");
+    fs::remove_dir_all(dir).unwrap();
+}
+
+/// The `trace` subcommand prints the per-level decode waterfall.
+#[test]
+fn trace_subcommand_prints_waterfall() {
+    let out = prlc()
+        .args([
+            "trace", "--scheme", "plc", "--levels", "2,3,5", "--seed", "7",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rows-to-unlock"), "{text}");
+    assert!(text.contains("levels unlocked within"), "{text}");
+}
+
 #[test]
 fn partial_decode_via_binary_after_shard_loss() {
     let dir = temp_dir("partial");

@@ -128,17 +128,38 @@ impl<F: GfElem, P: BlockPayload<F>> PlcDecoder<F, P> {
     ///
     /// Panics if `coefficients.len() != N`.
     pub fn insert_parts(&mut self, coefficients: Vec<F>, payload: P) -> InsertOutcome {
-        if !prlc_obs::enabled() {
+        let obs = prlc_obs::enabled();
+        let tracing = prlc_obs::trace::enabled();
+        if !obs && !tracing {
             return self.rref.insert(coefficients, payload);
         }
         let before = self.profile.levels_in_prefix(self.rref.decoded_prefix());
         let outcome = self.rref.insert(coefficients, payload);
         let after = self.profile.levels_in_prefix(self.rref.decoded_prefix());
-        prlc_obs::counter!("core.decode.blocks").incr();
-        if after > before {
-            prlc_obs::counter!("core.decode.level_completions").add((after - before) as u64);
-            prlc_obs::histogram!("core.decode.blocks_at_level_completion")
-                .observe(self.rref.inserted() as u64);
+        if obs {
+            prlc_obs::counter!("core.decode.blocks").incr();
+            if after > before {
+                prlc_obs::counter!("core.decode.level_completions").add((after - before) as u64);
+                prlc_obs::histogram!("core.decode.blocks_at_level_completion")
+                    .observe(self.rref.inserted() as u64);
+            }
+        }
+        if tracing {
+            // Provenance: which source blocks this coded block pinned down,
+            // and any strict-priority levels it thereby unlocked. The tick
+            // is the rows-consumed logical clock (`blocks_processed`).
+            let tick = self.rref.inserted() as u64;
+            for &idx in self.rref.newly_solved() {
+                prlc_obs::trace_instant!(
+                    "core.decode.solved",
+                    tick,
+                    block: idx as u64,
+                    level: self.profile.level_of(idx) as u64,
+                );
+            }
+            for l in before..after {
+                prlc_obs::trace_instant!("core.decode.level_unlock", tick, level: l as u64);
+            }
         }
         outcome
     }
@@ -272,16 +293,39 @@ impl<F: GfElem, P: BlockPayload<F>> SlcDecoder<F, P> {
                 && coefficients[range.end..].iter().all(|c| c.is_zero()),
             "SLC block has coefficients outside its level support"
         );
-        if !prlc_obs::enabled() {
+        let obs = prlc_obs::enabled();
+        let tracing = prlc_obs::trace::enabled();
+        if !obs && !tracing {
             return self.levels[level].insert(coefficients[range].to_vec(), payload);
         }
         let was_complete = self.levels[level].is_complete();
         let outcome = self.levels[level].insert(coefficients[range].to_vec(), payload);
-        prlc_obs::counter!("core.decode.blocks").incr();
-        if !was_complete && self.levels[level].is_complete() {
-            prlc_obs::counter!("core.decode.level_completions").incr();
-            prlc_obs::histogram!("core.decode.blocks_at_level_completion")
-                .observe(self.processed as u64);
+        let completed = !was_complete && self.levels[level].is_complete();
+        if obs {
+            prlc_obs::counter!("core.decode.blocks").incr();
+            if completed {
+                prlc_obs::counter!("core.decode.level_completions").incr();
+                prlc_obs::histogram!("core.decode.blocks_at_level_completion")
+                    .observe(self.processed as u64);
+            }
+        }
+        if tracing {
+            // Provenance: newly pinned source blocks mapped back to global
+            // indices through the level's lower bound. SLC unlocks are
+            // per-level (levels complete independently).
+            let tick = self.processed as u64;
+            let base = self.profile.bound(level) as u64;
+            for &off in self.levels[level].newly_solved() {
+                prlc_obs::trace_instant!(
+                    "core.decode.solved",
+                    tick,
+                    block: base + off as u64,
+                    level: level as u64,
+                );
+            }
+            if completed {
+                prlc_obs::trace_instant!("core.decode.level_unlock", tick, level: level as u64);
+            }
         }
         outcome
     }

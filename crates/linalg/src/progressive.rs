@@ -85,6 +85,9 @@ pub struct ProgressiveRref<F, P = ()> {
     /// solved rows can never become unsolved.
     prefix: usize,
     inserted: usize,
+    /// Columns whose unknown became determined during the most recent
+    /// [`insert`](Self::insert), ascending. Cleared on every insert.
+    last_solved: Vec<usize>,
 }
 
 impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
@@ -98,6 +101,7 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
             solved_count: 0,
             prefix: 0,
             inserted: 0,
+            last_solved: Vec::new(),
         }
     }
 
@@ -115,6 +119,13 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
     /// including redundant ones.
     pub fn inserted(&self) -> usize {
         self.inserted
+    }
+
+    /// Columns whose unknown became determined during the most recent
+    /// [`insert`](Self::insert), in ascending order. Empty when the last
+    /// insert was redundant or solved nothing new.
+    pub fn newly_solved(&self) -> &[usize] {
+        &self.last_solved
     }
 
     /// Number of unknowns currently determined (not necessarily a prefix).
@@ -176,6 +187,7 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
     pub fn insert(&mut self, mut coeffs: Vec<F>, mut payload: P) -> InsertOutcome {
         assert_eq!(coeffs.len(), self.width, "coefficient width mismatch");
         self.inserted += 1;
+        self.last_solved.clear();
 
         let mut support = trailing_support(&coeffs);
 
@@ -216,6 +228,15 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
                 prlc_obs::counter!("linalg.rref.rows").incr();
                 prlc_obs::counter!("linalg.rref.redundant").incr();
             }
+            if prlc_obs::trace::enabled() {
+                // Cause: the reduced row vanished, so the offered block was
+                // a linear combination of the rows already held.
+                prlc_obs::trace_instant!(
+                    "linalg.rref.redundant_row",
+                    self.inserted as u64,
+                    rank: self.rows.len() as u64,
+                );
+            }
             return InsertOutcome::Redundant;
         };
 
@@ -244,6 +265,7 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
             if row.nonzeros == 1 && !self.solved[row.pivot] {
                 self.solved[row.pivot] = true;
                 self.solved_count += 1;
+                self.last_solved.push(row.pivot);
             }
             debug_assert_ne!(ri, new_idx);
         }
@@ -253,6 +275,7 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
         if nonzeros == 1 {
             self.solved[pc] = true;
             self.solved_count += 1;
+            self.last_solved.push(pc);
         }
         self.pivot_of_col[pc] = Some(new_idx);
         self.rows.push(Row {
@@ -268,6 +291,17 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
         // in any later pivot column to be back-eliminated).
         while self.prefix < self.width && self.solved[self.prefix] {
             self.prefix += 1;
+        }
+        self.last_solved.sort_unstable();
+
+        if prlc_obs::trace::enabled() {
+            prlc_obs::trace_instant!(
+                "linalg.rref.pivot",
+                self.inserted as u64,
+                pivot: pc as u64,
+                rank: self.rows.len() as u64,
+                solved: self.last_solved.len() as u64,
+            );
         }
 
         if prlc_obs::enabled() {
@@ -526,6 +560,20 @@ mod tests {
         assert_eq!(cols, vec![0, 2]);
         assert_eq!(d.decoded_prefix(), 1);
         assert_eq!(d.decoded_count(), 2);
+    }
+
+    #[test]
+    fn newly_solved_reports_transitions() {
+        let mut d: ProgressiveRref<Gf256> = ProgressiveRref::new(3);
+        // A 2-variable row solves nothing yet.
+        assert!(d.insert(rowv(&[1, 2, 0]), ()).is_innovative());
+        assert!(d.newly_solved().is_empty());
+        // The second row pins x1 directly and x0 via back-elimination.
+        assert!(d.insert(rowv(&[0, 5, 0]), ()).is_innovative());
+        assert_eq!(d.newly_solved(), &[0, 1]);
+        // A redundant row solves nothing and clears the ledger.
+        assert_eq!(d.insert(rowv(&[3, 7, 0]), ()), InsertOutcome::Redundant);
+        assert!(d.newly_solved().is_empty());
     }
 
     #[test]

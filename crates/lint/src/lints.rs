@@ -218,6 +218,8 @@ const METRIC_MACROS: &[(&str, MetricKind)] = &[
     ("counter!", MetricKind::Counter),
     ("histogram!", MetricKind::Histogram),
     ("timer!", MetricKind::Timer),
+    ("trace_span!", MetricKind::Span),
+    ("trace_instant!", MetricKind::Point),
 ];
 
 /// Extracts every metric-macro key use from non-test code.
@@ -264,7 +266,10 @@ pub fn extract_key_uses(files: &[SourceFile]) -> Vec<KeyUse> {
 /// concatenate (handles `concat!("a.", $op, ".b")`), `$placeholder`s
 /// become `*` wildcards, other identifiers (`concat`) are skipped.
 /// Returns `None` when no literal or placeholder appears before the
-/// argument closes.
+/// argument closes. Only the *first* top-level argument is read —
+/// `trace_span!`/`trace_instant!` take ticks and annotations after the
+/// name, which must not concatenate into the key (commas inside a
+/// `concat!(...)` are at nesting depth 2 and still join).
 fn parse_key_argument(arg: &str) -> Option<String> {
     let b = arg.as_bytes();
     debug_assert_eq!(b.first(), Some(&b'('));
@@ -281,6 +286,7 @@ fn parse_key_argument(arg: &str) -> Option<String> {
                     break;
                 }
             }
+            b',' if depth == 1 => break,
             b'"' => {
                 i += 1;
                 while i < b.len() && b[i] != b'"' {
@@ -357,7 +363,7 @@ pub fn l3_metric_registry(
                     u.pattern,
                     e.kind.name(),
                     e.line,
-                    u.kind.name()
+                    u.kind.macro_name()
                 ),
                 None => format!(
                     "undocumented metric key `{}`: add it to docs/METRICS.md (scheme layer.op[.unit][.backend])",
@@ -394,7 +400,7 @@ pub fn l3_metric_registry(
                 format!(
                     "dead registry key `{}`: documented but no {}! call site emits it",
                     e.key,
-                    e.kind.name()
+                    e.kind.macro_name()
                 ),
             ));
         }
@@ -598,6 +604,63 @@ mod tests {
                 .any(|m| m.contains("dead registry key `gf.scale.bytes.simd`")),
             "{msgs:?}"
         );
+    }
+
+    #[test]
+    fn l3_checks_trace_macro_names() {
+        let reg = parse_metrics_md(
+            "| `net.collect.session` | span | session |\n\
+             | `linalg.rref.pivot` | instant | pivot |\n",
+        );
+        let f = lib(
+            "crates/net/src/c.rs",
+            "prlc_obs::trace_span!(\"net.collect.session\", a, b, blocks: n as u64);\n\
+             prlc_obs::trace_instant!(\"linalg.rref.pivot\", tick, pivot: pc as u64);\n",
+        );
+        let mut out = Vec::new();
+        l3_metric_registry(&[f], "docs/METRICS.md", &reg, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+
+        // A span name emitted via trace_instant! is a type clash, and an
+        // unregistered name is undocumented.
+        let f = lib(
+            "crates/net/src/c.rs",
+            "prlc_obs::trace_instant!(\"net.collect.session\", t);\n\
+             prlc_obs::trace_span!(\"net.rogue.span\", a, b);\n",
+        );
+        let mut out = Vec::new();
+        l3_metric_registry(&[f], "docs/METRICS.md", &reg, &mut out);
+        let msgs: Vec<&str> = out.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("documented as a span") && m.contains("trace_instant!")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("undocumented metric key `net.rogue.span`")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("no trace_span! call site emits it")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn key_argument_stops_at_the_first_top_level_comma() {
+        // Trailing macro arguments (ticks, annotations) never join the
+        // key, but commas inside a nested concat! still do.
+        assert_eq!(
+            parse_key_argument("(\"net.fault.retry\", self.step as u64, dest: d)"),
+            Some("net.fault.retry".to_string())
+        );
+        assert_eq!(
+            parse_key_argument("(concat!(\"gf.\", $op, \".bytes\"), n)"),
+            Some("gf.*.bytes".to_string())
+        );
+        assert_eq!(parse_key_argument("(tick, \"not.the.key\")"), None);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! key naming scheme shared by the static (L3) and runtime coverage
 //! checks.
 
-/// Metric kinds, matching the three `prlc-obs` macros.
+/// Metric kinds, matching the three `prlc-obs` metric macros plus the
+/// two trace macros.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricKind {
     /// `counter!` keys.
@@ -11,6 +12,11 @@ pub enum MetricKind {
     Histogram,
     /// `timer!` keys.
     Timer,
+    /// `trace_span!` names.
+    Span,
+    /// `trace_instant!` names (registry type `instant`; the identifier
+    /// avoids the wall-clock type name banned by L1).
+    Point,
 }
 
 impl MetricKind {
@@ -20,6 +26,19 @@ impl MetricKind {
             MetricKind::Counter => "counter",
             MetricKind::Histogram => "histogram",
             MetricKind::Timer => "timer",
+            MetricKind::Span => "span",
+            MetricKind::Point => "instant",
+        }
+    }
+
+    /// The macro that must emit keys of this kind.
+    pub fn macro_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Histogram => "histogram",
+            MetricKind::Timer => "timer",
+            MetricKind::Span => "trace_span",
+            MetricKind::Point => "trace_instant",
         }
     }
 
@@ -28,6 +47,8 @@ impl MetricKind {
             "counter" => Some(MetricKind::Counter),
             "histogram" => Some(MetricKind::Histogram),
             "timer" => Some(MetricKind::Timer),
+            "span" => Some(MetricKind::Span),
+            "instant" => Some(MetricKind::Point),
             _ => None,
         }
     }
@@ -133,7 +154,8 @@ pub fn parse_metrics_md(text: &str) -> Registry {
             reg.problems.push(RegistryProblem {
                 line: line_no,
                 message: format!(
-                    "key `{key}` has unknown type {:?} (expected counter|histogram|timer)",
+                    "key `{key}` has unknown type {:?} \
+                     (expected counter|histogram|timer|span|instant)",
                     cells[1]
                 ),
             });
@@ -223,6 +245,19 @@ Some prose with a stray `not.a.row` mention.
         assert_eq!(reg.entries.len(), 4, "{:?}", reg.entries);
         assert_eq!(reg.problems.len(), 5, "{:?}", reg.problems);
         assert!(reg.problems[0].message.contains("duplicate"));
+    }
+
+    #[test]
+    fn parses_span_and_instant_rows() {
+        let reg = parse_metrics_md(
+            "| `net.collect.session` | span | a collect session |\n\
+             | `linalg.rref.pivot` | instant | one pivot landing |\n",
+        );
+        assert!(reg.problems.is_empty(), "{:?}", reg.problems);
+        assert_eq!(reg.entries[0].kind, MetricKind::Span);
+        assert_eq!(reg.entries[1].kind, MetricKind::Point);
+        assert_eq!(MetricKind::Span.macro_name(), "trace_span");
+        assert_eq!(MetricKind::Point.macro_name(), "trace_instant");
     }
 
     #[test]

@@ -147,6 +147,7 @@ where
     if !net.is_alive(collector) || faults.is_down(collector) {
         return None;
     }
+    let span_start = faults.steps() as u64;
     // Group surviving slots by caching node; visit nodes in random order.
     let surviving = deployment.surviving_slots(net);
     let mut by_node: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
@@ -221,6 +222,17 @@ where
         prlc_obs::counter!("net.collect.gave_up").add(report.gave_up as u64);
         prlc_obs::counter!("net.collect.unreachable_nodes").add(report.unreachable_nodes as u64);
         prlc_obs::histogram!("net.collect.query_hops").observe(report.query_hops as u64);
+    }
+    if prlc_obs::trace::enabled() {
+        // Causal span on the session's message-step clock.
+        prlc_obs::trace_span!(
+            "net.collect.session",
+            span_start,
+            faults.steps() as u64,
+            blocks: report.blocks_collected as u64,
+            nodes: report.nodes_queried as u64,
+            levels: decoder.decoded_levels() as u64,
+        );
     }
     Some(report)
 }

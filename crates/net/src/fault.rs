@@ -283,6 +283,13 @@ impl FaultSession {
                         // message step the crash interleaved with.
                         prlc_obs::record_event("net.churn", i as u64, "crash", self.step as u64);
                     }
+                    if prlc_obs::trace::enabled() {
+                        prlc_obs::trace_instant!(
+                            "net.fault.crash",
+                            self.step as u64,
+                            node: i as u64,
+                        );
+                    }
                 }
             }
         }
@@ -310,6 +317,17 @@ impl FaultSession {
                 DeliveryOutcome::GaveUp => prlc_obs::counter!("net.gave_up").incr(),
                 DeliveryOutcome::Unreachable => prlc_obs::counter!("net.unreachable").incr(),
             }
+        }
+        if delivery.attempts > 1 && prlc_obs::trace::enabled() {
+            // The exchange needed retries: tick is the message-step clock
+            // after the final attempt completed.
+            prlc_obs::trace_instant!(
+                "net.fault.retry",
+                self.step as u64,
+                dest: dest.index() as u64,
+                retries: (delivery.attempts - 1) as u64,
+                delivered: u64::from(delivery.outcome == DeliveryOutcome::Delivered),
+            );
         }
         delivery
     }

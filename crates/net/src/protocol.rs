@@ -314,6 +314,7 @@ pub fn predistribute_with_faults<N: Network, F: GfElem, R: Rng + ?Sized>(
     if net.alive_count() == 0 {
         return Err(ProtocolError::NetworkEmpty);
     }
+    let span_start = faults.steps() as u64;
 
     // Phase 1: derive the M storage locations from the shared seed.
     // Every node can reproduce this sequence, which is how the protocol
@@ -459,6 +460,16 @@ pub fn predistribute_with_faults<N: Network, F: GfElem, R: Rng + ?Sized>(
             .add(metrics.unreachable_nodes as u64);
         prlc_obs::histogram!("net.predistribute.max_node_load")
             .observe(metrics.max_node_load as u64);
+    }
+    if prlc_obs::trace::enabled() {
+        // Causal span on the session's message-step clock.
+        prlc_obs::trace_span!(
+            "net.predistribute.session",
+            span_start,
+            faults.steps() as u64,
+            messages: metrics.messages as u64,
+            failed: metrics.failed_deliveries as u64,
+        );
     }
 
     Ok(Deployment {

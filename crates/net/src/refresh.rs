@@ -111,6 +111,7 @@ where
     if net.alive_count() == 0 {
         return None;
     }
+    let span_start = faults.steps() as u64;
     let mut report = RefreshReport::default();
 
     // Index surviving slots by level for donor lookup.
@@ -204,6 +205,16 @@ where
         prlc_obs::counter!("net.refresh.retries").add(report.retries as u64);
         prlc_obs::counter!("net.refresh.gave_up").add(report.gave_up as u64);
         prlc_obs::counter!("net.refresh.unreachable_nodes").add(report.unreachable_nodes as u64);
+    }
+    if prlc_obs::trace::enabled() {
+        // Causal span on the session's message-step clock.
+        prlc_obs::trace_span!(
+            "net.refresh.session",
+            span_start,
+            faults.steps() as u64,
+            repaired: report.repaired as u64,
+            unrepairable: report.unrepairable as u64,
+        );
     }
     Some(report)
 }

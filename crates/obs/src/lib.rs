@@ -9,6 +9,10 @@
 //! * a bounded structured **event recorder** ([`record_event`]) with
 //!   domain-separated IDs,
 //!
+//! — plus the [`trace`] module: a deterministic causal tracer of
+//! logical-clock spans and instant events with its own gate
+//! (`PRLC_TRACE=1`) and Perfetto-loadable export —
+//!
 //! — backed by a process-global [`Registry`] that is a **no-op unless
 //! explicitly enabled** (`PRLC_OBS=1` in the environment, or a call to
 //! [`enable`]). When disabled, every recording call is a single relaxed
@@ -45,6 +49,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trace;
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
@@ -57,10 +63,11 @@ use std::time::Instant;
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static ENV_INIT: Once = Once::new();
 
-/// Parses a `PRLC_OBS` value: `1`/`true` enables, `0`/`false`/empty
-/// disables (both case-insensitive, surrounding whitespace ignored).
-/// `Err` means the value is malformed and should be warned about.
-fn parse_obs_env(value: &str) -> Result<bool, ()> {
+/// Parses a `PRLC_OBS`/`PRLC_TRACE` value: `1`/`true` enables,
+/// `0`/`false`/empty disables (both case-insensitive, surrounding
+/// whitespace ignored). `Err` means the value is malformed and should
+/// be warned about.
+pub(crate) fn parse_obs_env(value: &str) -> Result<bool, ()> {
     let v = value.trim();
     if v == "1" || v.eq_ignore_ascii_case("true") {
         Ok(true)
@@ -310,7 +317,10 @@ pub struct Event {
 }
 
 /// Maximum events retained by a registry; later events only bump the
-/// `events_dropped` counter so the recorder stays bounded.
+/// drop counter so the recorder stays bounded. Overflow is never
+/// silent: every snapshot carries the count both as the top-level
+/// `events_dropped` field and as the injected `obs.events.dropped`
+/// counter (also exported to Prometheus as `prlc_obs_events_dropped`).
 pub const EVENT_CAPACITY: usize = 4096;
 
 // ---------------------------------------------------------------------------
@@ -411,13 +421,25 @@ impl Registry {
     }
 
     /// A point-in-time, fully sorted copy of everything recorded.
+    ///
+    /// The always-on `obs.events.dropped` counter (how many events the
+    /// bounded recorder discarded, see [`EVENT_CAPACITY`]) is injected
+    /// at its sorted position so overflow is never silent, even when no
+    /// macro call site registers it.
     pub fn snapshot(&self) -> Snapshot {
         let metrics = lock(&self.metrics);
-        let counters = metrics
+        let mut counters: Vec<(&'static str, u64)> = metrics
             .counters
             .iter()
             .map(|(&n, c)| (n, c.get()))
             .collect();
+        const DROPPED_KEY: &str = "obs.events.dropped";
+        let dropped = self.events_dropped.load(Ordering::Relaxed);
+        let pos = counters.partition_point(|&(n, _)| n < DROPPED_KEY);
+        match counters.get(pos) {
+            Some(&(n, _)) if n == DROPPED_KEY => counters[pos].1 += dropped,
+            _ => counters.insert(pos, (DROPPED_KEY, dropped)),
+        }
         let histograms = metrics
             .histograms
             .iter()
@@ -553,7 +575,7 @@ pub struct Snapshot {
     pub events_dropped: u64,
 }
 
-fn json_escape(s: &str, out: &mut String) {
+pub(crate) fn json_escape(s: &str, out: &mut String) {
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),
@@ -646,12 +668,25 @@ impl Snapshot {
     /// Prometheus text exposition format. Metric names are prefixed
     /// with `prlc_` and sanitised (`.` and other non-identifier
     /// characters become `_`). Events are summarised per
-    /// `(domain, kind)` as a labelled counter.
+    /// `(domain, kind)` as a labelled counter whose label values are
+    /// escaped per the exposition grammar (`\\`, `\"`, `\n`).
     pub fn to_prometheus(&self) -> String {
         fn sanitize(name: &str) -> String {
             name.chars()
                 .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
                 .collect()
+        }
+        fn label_escape(value: &str) -> String {
+            let mut out = String::with_capacity(value.len());
+            for c in value.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out
         }
         let mut s = String::new();
         for (name, v) in &self.counters {
@@ -683,15 +718,16 @@ impl Snapshot {
         for e in &self.events {
             *per_kind.entry((e.domain, e.kind)).or_insert(0) += 1;
         }
+        if !per_kind.is_empty() {
+            s.push_str("# TYPE prlc_events_total counter\n");
+        }
         for ((domain, kind), c) in per_kind {
             s.push_str(&format!(
-                "prlc_events_total{{domain=\"{domain}\",kind=\"{kind}\"}} {c}\n"
+                "prlc_events_total{{domain=\"{}\",kind=\"{}\"}} {c}\n",
+                label_escape(domain),
+                label_escape(kind)
             ));
         }
-        s.push_str(&format!(
-            "# TYPE prlc_events_dropped counter\nprlc_events_dropped {}\n",
-            self.events_dropped
-        ));
         s
     }
 }
@@ -731,7 +767,7 @@ mod tests {
         r.histogram("h").observe(9);
         r.record_event("d", 1, "k", 2);
         let snap = r.snapshot();
-        assert_eq!(snap.counters, vec![("c", 0)]);
+        assert_eq!(snap.counters, vec![("c", 0), ("obs.events.dropped", 0)]);
         assert_eq!(snap.histograms[0].1.count, 0);
         assert!(snap.events.is_empty());
     }
@@ -752,7 +788,10 @@ mod tests {
         r.record_event("dom", 9, "boom", 4);
         r.record_event("dom", 3, "boom", 1);
         let snap = r.snapshot();
-        assert_eq!(snap.counters, vec![("a.x", 3), ("b.y", 1)]);
+        assert_eq!(
+            snap.counters,
+            vec![("a.x", 3), ("b.y", 1), ("obs.events.dropped", 0)]
+        );
         let hs = &snap.histograms[0].1;
         assert_eq!(hs.count, 4);
         assert_eq!(hs.sum, 1_000_003);
@@ -776,6 +815,12 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap.events.len(), EVENT_CAPACITY);
         assert_eq!(snap.events_dropped, 10);
+        // Overflow is surfaced as a counter too, not just the raw field.
+        assert!(snap.counters.contains(&("obs.events.dropped", 10)));
+        assert!(r
+            .snapshot()
+            .to_prometheus()
+            .contains("prlc_obs_events_dropped 10"));
         r.reset();
         let snap = r.snapshot();
         assert!(snap.events.is_empty());
@@ -790,7 +835,10 @@ mod tests {
         let r = Registry::new();
         r.counter("kept").add(7);
         r.reset();
-        assert_eq!(r.snapshot().counters, vec![("kept", 0)]);
+        assert_eq!(
+            r.snapshot().counters,
+            vec![("kept", 0), ("obs.events.dropped", 0)]
+        );
         disable();
     }
 
@@ -806,7 +854,7 @@ mod tests {
         let snap = r.snapshot();
         let det = snap.to_deterministic_json();
         let full = snap.to_json();
-        assert!(det.starts_with("{\"counters\":{\"n\":1}"));
+        assert!(det.starts_with("{\"counters\":{\"n\":1,\"obs.events.dropped\":0}"));
         assert!(det.contains("\"events\":[{\"domain\":\"d\",\"id\":2,\"kind\":\"k\",\"value\":5}]"));
         assert!(det.contains("\"histograms\":{\"h\":{\"counts\":["));
         assert!(!det.contains("\"timers\""));
@@ -826,11 +874,141 @@ mod tests {
         r.counter("gf.axpy.bytes.simd").add(64);
         r.histogram("rows").observe(2);
         r.record_event("net.churn", 4, "crash", 1);
+        r.record_event("odd\"dom\\ain", 1, "k\nind", 2);
         let text = r.snapshot().to_prometheus();
         assert!(text.contains("prlc_gf_axpy_bytes_simd 64"));
         assert!(text.contains("prlc_rows_bucket{le=\"2\"} 1"));
         assert!(text.contains("prlc_rows_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("prlc_rows_sum 2"));
+        assert!(text.contains("prlc_rows_count 1"));
+        assert!(text.contains("# TYPE prlc_events_total counter"));
         assert!(text.contains("prlc_events_total{domain=\"net.churn\",kind=\"crash\"} 1"));
+        // Label values escape backslash, quote and newline per the
+        // exposition grammar — one sample must stay one line.
+        assert!(text.contains("domain=\"odd\\\"dom\\\\ain\",kind=\"k\\nind\""));
+        assert!(text.contains("prlc_obs_events_dropped 0"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE ") || line.starts_with("prlc_"),
+                "malformed exposition line: {line:?}"
+            );
+        }
+        disable();
+    }
+
+    /// Minimal JSON well-formedness checker for the round-trip test (no
+    /// serde in this workspace): returns the index after one value.
+    fn json_value(b: &[u8], mut i: usize) -> Result<usize, String> {
+        fn ws(b: &[u8], mut i: usize) -> usize {
+            while b.get(i).is_some_and(|c| c.is_ascii_whitespace()) {
+                i += 1;
+            }
+            i
+        }
+        i = ws(b, i);
+        match b.get(i) {
+            Some(b'{') => {
+                i = ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = json_value(b, i)?; // key (validated as a value; must be a string)
+                    i = ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    i = json_value(b, i + 1)?;
+                    i = ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b'}') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or '}}' at {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                i = ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = json_value(b, i)?;
+                    i = ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b']') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or ']' at {i}")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                i += 1;
+                while let Some(&c) = b.get(i) {
+                    match c {
+                        b'"' => return Ok(i + 1),
+                        b'\\' => i += 2,
+                        _ => i += 1,
+                    }
+                }
+                Err("unterminated string".to_string())
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                i += 1;
+                while b
+                    .get(i)
+                    .is_some_and(|c| c.is_ascii_digit() || b".eE+-".contains(c))
+                {
+                    i += 1;
+                }
+                Ok(i)
+            }
+            Some(b't') => Ok(i + 4),
+            Some(b'f') => Ok(i + 5),
+            Some(b'n') => Ok(i + 4),
+            other => Err(format!("unexpected {other:?} at {i}")),
+        }
+    }
+
+    fn assert_json_well_formed(s: &str) {
+        let end = json_value(s.as_bytes(), 0).unwrap_or_else(|e| panic!("{e} in {s}"));
+        assert_eq!(end, s.len(), "trailing garbage in {s}");
+    }
+
+    #[test]
+    fn exports_round_trip_as_well_formed_documents() {
+        let _g = guarded();
+        enable();
+        let r = Registry::new();
+        r.counter("net.collect.blocks").add(3);
+        r.counter("weird\"name\\with\nescapes").incr();
+        r.histogram("net.collect.query_hops").observe(7);
+        let _ = r.timer("sim.run");
+        r.record_event("net.churn", 2, "crash", 1);
+        let snap = r.snapshot();
+        assert_json_well_formed(&snap.to_json());
+        assert_json_well_formed(&snap.to_deterministic_json());
+        // Prometheus: every sample line must be `name{labels} value` or
+        // `name value` with a numeric value, even with hostile names.
+        for line in snap.to_prometheus().lines() {
+            if line.starts_with("# TYPE ") {
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+                panic!("sample line without value: {line:?}");
+            });
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "non-numeric sample value in {line:?}"
+            );
+            let name = name_part.split('{').next().unwrap_or("");
+            assert!(
+                !name.is_empty()
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    && !name.starts_with(|c: char| c.is_ascii_digit()),
+                "invalid metric name in {line:?}"
+            );
+        }
         disable();
     }
 

@@ -106,16 +106,40 @@ impl RunMetadata {
         results_json: &str,
         metrics_json: Option<&str>,
     ) -> std::io::Result<()> {
+        self.write_bench_json_with_blocks(path, results_json, metrics_json, None)
+    }
+
+    /// [`write_bench_json_with_metrics`](Self::write_bench_json_with_metrics)
+    /// with an additional optional trace block; the full envelope is
+    /// `{"run_metadata": ..., "metrics": ..., "trace": ..., "results": ...}`
+    /// with absent blocks omitted. Both optional arguments must already be
+    /// valid JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_bench_json_with_blocks(
+        &self,
+        path: &Path,
+        results_json: &str,
+        metrics_json: Option<&str>,
+        trace_json: Option<&str>,
+    ) -> std::io::Result<()> {
         let mut f = std::fs::File::create(path)?;
         let metrics = match metrics_json {
             Some(m) => format!(",\"metrics\":{m}"),
             None => String::new(),
         };
+        let trace = match trace_json {
+            Some(t) => format!(",\"trace\":{t}"),
+            None => String::new(),
+        };
         writeln!(
             f,
-            "{{\"run_metadata\":{}{},\"results\":{}}}",
+            "{{\"run_metadata\":{}{}{},\"results\":{}}}",
             self.to_json(),
             metrics,
+            trace,
             results_json
         )
     }
@@ -249,6 +273,18 @@ mod tests {
             .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains(",\"metrics\":{\"counters\":{}},\"results\":[1,2,3]"));
+
+        meta.write_bench_json_with_blocks(
+            &path,
+            "[1,2,3]",
+            Some("{\"counters\":{}}"),
+            Some("{\"tracks\":[]}"),
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(
+            ",\"metrics\":{\"counters\":{}},\"trace\":{\"tracks\":[]},\"results\":[1,2,3]"
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -84,8 +84,11 @@ where
 
     // Per-run wall-clock spans aggregate into the `sim.run` timer (and a
     // run counter); the timer is excluded from deterministic snapshots.
+    // The trace track is keyed by the run's split seed, not its index or
+    // thread, so trace dumps are identical across worker counts.
     let timed = |seed: u64| {
         let _span = prlc_obs::timer!("sim.run").span();
+        let _track = prlc_obs::trace::track(seed);
         prlc_obs::counter!("sim.runs").incr();
         f(seed)
     };

@@ -71,11 +71,18 @@ pub fn simulate_persistence_timeline<F: GfElem>(cfg: &TimelineConfig) -> Vec<Sum
         )
         .expect("fresh network accepts the protocol");
 
-        out.push(decodable_levels::<F>(&net, &dep, cfg) as f64);
-        for _ in 0..cfg.epochs {
+        let baseline = decodable_levels::<F>(&net, &dep, cfg);
+        out.push(baseline as f64);
+        if prlc_obs::trace::enabled() {
+            prlc_obs::trace_instant!("sim.timeline.epoch", 0, levels: baseline as u64);
+        }
+        for epoch in 1..=cfg.epochs {
             net.fail_uniform(cfg.churn_per_epoch, &mut rng);
             if net.alive_count() == 0 {
                 out.push(0.0);
+                if prlc_obs::trace::enabled() {
+                    prlc_obs::trace_instant!("sim.timeline.epoch", epoch as u64, levels: 0);
+                }
                 continue;
             }
             if let Some(donors) = cfg.repair_donors {
@@ -89,7 +96,11 @@ pub fn simulate_persistence_timeline<F: GfElem>(cfg: &TimelineConfig) -> Vec<Sum
                     &mut rng,
                 );
             }
-            out.push(decodable_levels::<F>(&net, &dep, cfg) as f64);
+            let levels = decodable_levels::<F>(&net, &dep, cfg);
+            out.push(levels as f64);
+            if prlc_obs::trace::enabled() {
+                prlc_obs::trace_instant!("sim.timeline.epoch", epoch as u64, levels: levels as u64);
+            }
         }
         // Pad in case of early total death (keep lengths rectangular).
         while out.len() < cfg.epochs + 1 {

@@ -1,6 +1,6 @@
-//! Runtime registry coverage: every metric key documented in
-//! `docs/METRICS.md` must actually register in an obs snapshot during
-//! one full SLC+PLC workload.
+//! Runtime registry coverage: every metric key and trace name
+//! documented in `docs/METRICS.md` must actually register in an obs
+//! (or trace) snapshot during one full SLC+PLC workload.
 //!
 //! The static L3 lint proves every *call site* uses a documented key,
 //! but it cannot prove the call site is reachable — a key whose
@@ -21,7 +21,10 @@ use prlc::net::{
     collect_with_faults, predistribute_with_faults, refresh_with_faults, ChurnEvent, FaultPlan,
     LinkModel, RefreshConfig, RetryPolicy,
 };
-use prlc::sim::{simulate_decoding_curve, CurveConfig, Persistence};
+use prlc::sim::{
+    simulate_decoding_curve, simulate_persistence_timeline, CurveConfig, Persistence,
+    TimelineConfig,
+};
 
 /// One predistribute → collect round under the given fault knobs.
 /// Executes the instrumented session blocks in `protocol.rs`,
@@ -137,6 +140,25 @@ fn curve_rounds(seed: u64) {
     }
 }
 
+/// A short churn timeline with repair — executes the epoch
+/// instrumentation in `timeline.rs` on top of the refresh path.
+fn timeline_round(seed: u64) {
+    let profile = PriorityProfile::new(vec![2, 3]).expect("valid profile");
+    let summaries = simulate_persistence_timeline::<Gf256>(&TimelineConfig {
+        scheme: Scheme::Plc,
+        profile,
+        distribution: PriorityDistribution::uniform(2),
+        nodes: 30,
+        locations: 15,
+        churn_per_epoch: 0.2,
+        epochs: 2,
+        repair_donors: Some(2),
+        runs: 1,
+        seed,
+    });
+    assert_eq!(summaries.len(), 3);
+}
+
 /// Directly exercise all five dispatched GF kernel entry points so the
 /// active backend's `gf.<op>.bytes.*` counters register even if the
 /// decoding path above happens to skip one.
@@ -165,6 +187,8 @@ fn required_at_runtime(key: &str, active_backend: &str) -> bool {
 #[test]
 fn every_documented_key_registers_at_runtime() {
     obs::enable();
+    obs::trace::enable();
+    obs::trace::reset();
 
     curve_rounds(0xC0FFEE);
     kernel_rounds();
@@ -173,9 +197,15 @@ fn every_documented_key_registers_at_runtime() {
     net_round(11, 0.0, 1, 0.6);
     // Near-total loss with no retry budget: gave-up deliveries.
     net_round(12, 0.95, 0, 0.0);
+    // Moderate loss with retry budget: exchanges that succeed only
+    // after re-sends, firing the retry trace point.
+    net_round(14, 0.5, 3, 0.0);
     refresh_round(13);
+    timeline_round(15);
 
     let snap = obs::snapshot();
+    let trace_snap = obs::trace::snapshot();
+    let trace_names = trace_snap.names();
     let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/METRICS.md"))
         .expect("docs/METRICS.md exists");
     let reg = parse_metrics_md(&text);
@@ -200,6 +230,7 @@ fn every_documented_key_registers_at_runtime() {
             MetricKind::Counter => snap.counters.iter().any(|(n, _)| *n == e.key),
             MetricKind::Histogram => snap.histograms.iter().any(|(n, _)| *n == e.key),
             MetricKind::Timer => snap.timers.iter().any(|(n, _)| *n == e.key),
+            MetricKind::Span | MetricKind::Point => trace_names.contains(&e.key.as_str()),
         };
         if !present {
             missing.push(format!("{} ({})", e.key, e.kind.name()));
