@@ -9,6 +9,7 @@
 use prlc_bench::RunOpts;
 use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
 use prlc_gf::Gf256;
+use prlc_net::{FaultPlan, SourceFanout};
 use prlc_sim::{fmt_f, simulate_persistence_timeline, Table, TimelineConfig};
 
 fn main() {
@@ -38,6 +39,8 @@ fn main() {
         churn_per_epoch: 0.15,
         epochs,
         repair_donors: None,
+        faults: FaultPlan::none(),
+        fanout: SourceFanout::All,
         runs: opts.runs,
         seed: opts.seed.wrapping_add(99),
     };

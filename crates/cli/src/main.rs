@@ -6,10 +6,12 @@ use std::process::ExitCode;
 use prlc_cli::{decode, encode, info, DecodeOptions, EncodeOptions};
 use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
 use prlc_gf::{kernel, Gf256};
+use prlc_net::{FaultPlan, RetryPolicy, SourceFanout};
 use prlc_sim::{
     fmt_f, persistence_under_lossy_collection_with_threads, runner,
-    simulate_decoding_curve_with_threads, CurveConfig, LossyCollectionConfig, Persistence,
-    RunMetadata, Table,
+    simulate_decoding_curve_with_threads, simulate_persistence_timeline_with_threads,
+    timeline_results_json, CurveConfig, LossyCollectionConfig, Persistence, RunMetadata, Table,
+    TimelineConfig,
 };
 
 const USAGE: &str = "\
@@ -23,6 +25,8 @@ USAGE:
   prlc sim [--scheme rlc|slc|plc|replication|growth] [--levels a,b,c]
            [--max-blocks M] [--runs R] [--seed S] [--threads T]
            [--loss p1,p2,...] [--retries r1,r2,...]
+           [--nodes N] [--locations M]
+           [--epochs E] [--churn p] [--repair D]
            [--bench-out FILE] [--metrics FILE|-]
            [--trace FILE|-] [--trace-format json|chrome]
   prlc trace [--scheme rlc|slc|plc] [--levels a,b,c] [--max-blocks M]
@@ -46,7 +50,17 @@ fault-injected transport (coding schemes only): blocks are stored on a
 ring overlay, a node-failure event strikes, then a collector gathers
 the survivors while each per-node query is dropped with probability
 --loss and retried up to --retries times. Both flags take
-comma-separated lists and form a grid.
+comma-separated lists and form a grid. --nodes sets the overlay size
+and --locations the storage locations (defaults scale with the code).
+
+With --epochs, `sim` runs a long-horizon persistence timeline on the
+event-driven protocol runtime (coding schemes only): one deployment,
+then E churn epochs each killing an alive node with probability
+--churn, optionally followed by an in-network repair pass combining
+--repair donor blocks per lost slot. Here --loss and --retries take
+single values and fault-inject the protocol sessions themselves. The
+lazy per-node state of the runtime makes N=10^5 overlays (--nodes
+100000) run in seconds.
 
 --metrics enables the prlc-obs recorder and dumps the full metrics
 snapshot (counters, histograms, events, timers) as one JSON object to
@@ -349,6 +363,20 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
             .collect::<Vec<_>>()
     );
 
+    if flag_value(args, "--epochs")?.is_some() {
+        return cmd_sim_timeline(
+            args,
+            persistence,
+            profile,
+            distribution,
+            runs,
+            seed,
+            threads,
+            &mut meta,
+            metrics_out.as_deref(),
+        );
+    }
+
     let losses = flag_value(args, "--loss")?;
     let retries = flag_value(args, "--retries")?;
     if losses.is_some() || retries.is_some() {
@@ -579,6 +607,159 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--nodes` / `--locations` for the overlay-backed sim paths,
+/// with validation against the code parameters: an overlay that cannot
+/// hold a decodable deployment is rejected up front with an actionable
+/// message instead of failing deep inside the protocol.
+fn overlay_geometry(args: &[String], profile: &PriorityProfile) -> Result<(usize, usize), String> {
+    let total = profile.total_blocks();
+    let nodes: usize = match flag_value(args, "--nodes")? {
+        Some(v) => v.parse().map_err(|_| "bad --nodes")?,
+        None => 4 * total.max(20),
+    };
+    if nodes < 2 * total {
+        return Err(format!(
+            "--nodes {nodes} is too small for this code: {total} source blocks \
+             need at least {} nodes (2x the code width) to hold a decodable \
+             set of storage locations",
+            2 * total
+        ));
+    }
+    let locations: usize = match flag_value(args, "--locations")? {
+        Some(v) => v.parse().map_err(|_| "bad --locations")?,
+        // nodes/2 like the original sweeps, capped so that huge overlays
+        // (--nodes 100000) keep a code-sized deployment instead of
+        // scaling the location count with the network.
+        None => (nodes / 2).min(4 * total.max(20)),
+    };
+    if locations < total {
+        return Err(format!(
+            "--locations {locations} is below the code width {total}: the \
+             deployment could never be fully decodable"
+        ));
+    }
+    Ok((nodes, locations))
+}
+
+/// The `sim --epochs` path: a long-horizon persistence timeline on the
+/// event-driven protocol runtime — churn epoch after churn epoch, with
+/// optional in-network repair and fault-injected protocol sessions.
+#[allow(clippy::too_many_arguments)]
+fn cmd_sim_timeline(
+    args: &[String],
+    persistence: Persistence,
+    profile: PriorityProfile,
+    distribution: PriorityDistribution,
+    runs: usize,
+    seed: u64,
+    threads: usize,
+    meta: &mut RunMetadata,
+    metrics_out: Option<&str>,
+) -> Result<(), String> {
+    let Persistence::Coding(scheme) = persistence else {
+        return Err("--epochs needs a coding scheme (rlc|slc|plc): the \
+                    baselines have no networked persistence path"
+            .into());
+    };
+    let epochs: usize = flag_value(args, "--epochs")?
+        .ok_or("--epochs missing")?
+        .parse()
+        .map_err(|_| "bad --epochs")?;
+    if epochs == 0 {
+        return Err("--epochs must be at least 1".into());
+    }
+    let churn: f64 = match flag_value(args, "--churn")? {
+        Some(v) => v.parse().map_err(|_| "bad --churn")?,
+        None => 0.2,
+    };
+    if !(0.0..=1.0).contains(&churn) {
+        return Err("--churn must be in [0,1]".into());
+    }
+    let repair_donors: Option<usize> = match flag_value(args, "--repair")? {
+        Some(v) => {
+            let d: usize = v.parse().map_err(|_| "bad --repair")?;
+            if d == 0 {
+                return Err("--repair needs at least one donor per slot".into());
+            }
+            Some(d)
+        }
+        None => None,
+    };
+    let loss: f64 = match flag_value(args, "--loss")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| "bad --loss (a timeline takes a single rate)")?,
+        None => 0.0,
+    };
+    if !(0.0..=1.0).contains(&loss) {
+        return Err("--loss must be in [0,1]".into());
+    }
+    let retries: usize = match flag_value(args, "--retries")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| "bad --retries (a timeline takes a single budget)")?,
+        None => 0,
+    };
+    let (nodes, locations) = overlay_geometry(args, &profile)?;
+    let faults = if loss > 0.0 {
+        FaultPlan::lossy(loss, RetryPolicy::with_retries(retries, 1), seed)
+    } else {
+        FaultPlan::none()
+    };
+
+    println!(
+        "persistence timeline: {nodes} nodes, {locations} locations, \
+         {epochs} epochs, churn {}, repair {}, loss {}",
+        fmt_f(churn, 2),
+        repair_donors.map_or_else(|| "off".to_string(), |d| format!("{d} donors")),
+        fmt_f(loss, 2),
+    );
+    let cfg = TimelineConfig {
+        scheme,
+        profile,
+        distribution,
+        nodes,
+        locations,
+        churn_per_epoch: churn,
+        epochs,
+        repair_donors,
+        faults,
+        fanout: SourceFanout::All,
+        runs,
+        seed,
+    };
+    let summaries = simulate_persistence_timeline_with_threads::<Gf256>(&cfg, threads);
+
+    let mut table = Table::new(["epoch", "levels", "ci95"]);
+    for (epoch, s) in summaries.iter().enumerate() {
+        table.push_row([epoch.to_string(), fmt_f(s.mean, 3), fmt_f(s.ci95, 3)]);
+    }
+    println!("{}", table.render());
+
+    let metrics_json = match metrics_out {
+        Some(dest) => Some(finish_metrics(meta, dest)?),
+        None => None,
+    };
+    let trace_out = flag_value(args, "--trace")?;
+    let trace_format = flag_value(args, "--trace-format")?.unwrap_or_else(|| "json".to_string());
+    let trace_json = match trace_out.as_deref() {
+        Some(dest) => Some(finish_trace(dest, &trace_format)?),
+        None => None,
+    };
+
+    if let Some(path) = flag_value(args, "--bench-out")? {
+        meta.write_bench_json_with_blocks(
+            std::path::Path::new(&path),
+            &timeline_results_json(&summaries),
+            metrics_json.as_deref(),
+            trace_json.as_deref(),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote persistence timeline + run metadata to {path}");
+    }
+    Ok(())
+}
+
 /// The `sim --loss/--retries` path: collection over a fault-injected
 /// transport, swept across the loss × retry-budget grid.
 #[allow(clippy::too_many_arguments)]
@@ -623,13 +804,13 @@ fn cmd_sim_lossy(
         return Err("--loss and --retries need at least one value each".into());
     }
 
-    let nodes = 4 * profile.total_blocks().max(20);
+    let (nodes, locations) = overlay_geometry(args, &profile)?;
     let cfg = LossyCollectionConfig {
         scheme,
         profile,
         distribution,
         nodes,
-        locations: nodes / 2,
+        locations,
         node_failure: 0.3,
         backoff_hops: 1,
         runs,

@@ -412,3 +412,143 @@ fn partial_decode_via_binary_after_shard_loss() {
 
     fs::remove_dir_all(dir).unwrap();
 }
+
+/// `--nodes` below the code parameters is rejected up front with an
+/// actionable message, not a protocol-level panic or empty output.
+#[test]
+fn sim_rejects_undersized_overlay() {
+    let out = prlc()
+        .args(["sim", "--scheme", "plc", "--epochs", "2", "--nodes", "5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--nodes 5 is too small") && err.contains("at least 20 nodes"),
+        "unhelpful error: {err}"
+    );
+
+    // Same guard on the lossy-sweep path.
+    let out = prlc()
+        .args(["sim", "--scheme", "plc", "--loss", "0.3", "--nodes", "5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--nodes 5 is too small"), "{err}");
+
+    // Undersized --locations is caught too.
+    let out = prlc()
+        .args(["sim", "--epochs", "2", "--nodes", "100", "--locations", "3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--locations 3 is below"), "{err}");
+}
+
+/// The `--epochs` timeline runs end to end, honours `--nodes`, and the
+/// pinned-seed output is byte-identical across worker thread counts
+/// (each Monte-Carlo run is seeded by index, not by schedule).
+#[test]
+fn sim_timeline_honours_nodes_and_is_thread_count_independent() {
+    let run = |threads: &str| {
+        let out = prlc()
+            .args([
+                "sim",
+                "--scheme",
+                "plc",
+                "--epochs",
+                "3",
+                "--churn",
+                "0.2",
+                "--repair",
+                "2",
+                "--nodes",
+                "500",
+                "--runs",
+                "6",
+                "--seed",
+                "11",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let one = run("1");
+    assert!(one.contains("persistence timeline: 500 nodes"), "{one}");
+    assert!(one.contains("epoch"), "{one}");
+    // 3 epochs + baseline: rows 0..=3 present.
+    assert!(one.contains("\n3 "), "{one}");
+    let four = run("4");
+    // Drop the throughput-probe header line (wall-clock) before diffing.
+    let tail = |s: &str| {
+        s.lines()
+            .skip_while(|l| !l.starts_with("persistence timeline"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(tail(&one), tail(&four));
+}
+
+/// A fault-injected timeline on a large overlay exercises the event
+/// runtime's lazy node state: metrics and trace dumps stay available
+/// and the run completes quickly even at N=20000 in a debug build.
+#[test]
+fn sim_timeline_large_overlay_with_faults_and_bench_envelope() {
+    let dir = temp_dir("timeline-bench");
+    let bench = dir.join("BENCH_timeline.json");
+    let out = prlc()
+        .args([
+            "sim",
+            "--scheme",
+            "plc",
+            "--epochs",
+            "2",
+            "--churn",
+            "0.1",
+            "--repair",
+            "2",
+            "--loss",
+            "0.2",
+            "--retries",
+            "1",
+            "--nodes",
+            "20000",
+            "--runs",
+            "2",
+            "--seed",
+            "3",
+            "--threads",
+            "1",
+            "--metrics",
+            "-",
+            "--trace",
+            dir.join("trace.json").to_str().unwrap(),
+            "--bench-out",
+            bench.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let metrics = deterministic_metrics(&out.stdout);
+    assert!(metrics.contains("net.event.nodes_touched"), "{metrics}");
+    let trace = fs::read_to_string(dir.join("trace.json")).unwrap();
+    assert!(trace.starts_with("{\"tracks\""), "{trace}");
+    assert!(trace.contains("sim.timeline.epoch"), "{trace}");
+    let envelope = fs::read_to_string(&bench).unwrap();
+    assert!(envelope.contains("\"results\":["), "{envelope}");
+    assert!(envelope.contains("\"epoch\":2"), "{envelope}");
+    fs::remove_dir_all(dir).unwrap();
+}

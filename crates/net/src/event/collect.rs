@@ -1,0 +1,189 @@
+//! The collection session as a poll-based state machine.
+//!
+//! Construction performs the collector-liveness guard and the local
+//! ordering work (grouping surviving slots by caching node, shuffling
+//! the visit order with the caller's RNG — the only RNG use of the
+//! whole session, consumed in the synchronous order). Each
+//! [`CollectEvent::Visit`] then queries one caching node through the
+//! fault session and feeds its blocks to the decoder, early-stopping
+//! the moment the target level count is reached.
+
+use std::collections::BTreeMap;
+
+use prlc_core::PriorityDecoder;
+use prlc_gf::GfElem;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use super::machine::{SessionMachine, Transition};
+use crate::collect::{emit_collect_obs, CollectionConfig, CollectionReport, NodeLocator};
+use crate::fault::{DeliveryOutcome, FaultSession};
+use crate::network::NodeId;
+use crate::protocol::Deployment;
+
+/// Events driving a [`CollectMachine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectEvent {
+    /// Query the next caching node in the shuffled visit order.
+    Visit,
+}
+
+/// The collection session state machine.
+///
+/// Executed by [`run_to_quiescence`](super::run_to_quiescence); the
+/// public [`collect_with_faults`](crate::collect_with_faults) driver is
+/// bit-identical to the synchronous reference path
+/// ([`crate::sync::collect_with_faults`]) under pinned seeds.
+pub struct CollectMachine<'a, N: NodeLocator, F: GfElem, D: PriorityDecoder<F>> {
+    net: &'a N,
+    deployment: &'a Deployment<F>,
+    decoder: &'a mut D,
+    collector: NodeId,
+    target: Option<usize>,
+    faults: &'a mut FaultSession,
+    by_node: BTreeMap<NodeId, Vec<usize>>,
+    nodes: Vec<NodeId>,
+    next_node: usize,
+    report: CollectionReport,
+    span_start: u64,
+}
+
+impl<'a, N: NodeLocator, F: GfElem, D: PriorityDecoder<F>> CollectMachine<'a, N, F, D> {
+    /// Guards the collector and prepares the shuffled visit order.
+    /// Returns `None` if `collector` is dead or already crashed —
+    /// exactly the synchronous precondition.
+    pub fn new<R: Rng + ?Sized>(
+        net: &'a N,
+        deployment: &'a Deployment<F>,
+        decoder: &'a mut D,
+        collector: NodeId,
+        cfg: &CollectionConfig,
+        faults: &'a mut FaultSession,
+        rng: &mut R,
+    ) -> Option<Self> {
+        if !net.is_alive(collector) || faults.is_down(collector) {
+            return None;
+        }
+        let span_start = faults.steps() as u64;
+        // Group surviving slots by caching node; visit in random order.
+        let surviving = deployment.surviving_slots(net);
+        let mut by_node: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+        for idx in surviving {
+            by_node
+                .entry(deployment.slots()[idx].node)
+                .or_default()
+                .push(idx);
+        }
+        let mut nodes: Vec<NodeId> = by_node.keys().copied().collect();
+        nodes.shuffle(rng);
+        Some(CollectMachine {
+            net,
+            deployment,
+            decoder,
+            collector,
+            target: cfg.target_levels,
+            faults,
+            by_node,
+            nodes,
+            next_node: 0,
+            report: CollectionReport::default(),
+            span_start,
+        })
+    }
+
+    /// The message-step tick the session starts at.
+    pub fn start_tick(&self) -> u64 {
+        self.span_start
+    }
+
+    fn visit_next(&mut self) -> Transition<CollectEvent, CollectionReport> {
+        if self.next_node >= self.nodes.len() || self.faults.is_down(self.collector) {
+            // Visit order exhausted, or the collector itself departed:
+            // finish with what we have.
+            return self.finalize();
+        }
+        let node = self.nodes[self.next_node];
+        self.next_node += 1;
+        self.report.nodes_queried += 1;
+        let Some(route) = self.net.route(self.collector, self.net.locate(node)) else {
+            // Unroutable cache (partitioned plane, greedy local
+            // minimum): its blocks never reach the collector.
+            self.report.unreachable_nodes += 1;
+            return Transition::Yield {
+                at: self.faults.steps() as u64,
+                event: CollectEvent::Visit,
+            };
+        };
+        let delivery = self.faults.attempt(node, route.hops);
+        self.report.query_hops += delivery.cost_hops;
+        self.report.lost_messages += delivery.lost;
+        self.report.retries += delivery.attempts.saturating_sub(1);
+        let at = self.faults.steps() as u64;
+        match delivery.outcome {
+            DeliveryOutcome::Delivered => {}
+            DeliveryOutcome::Unreachable => {
+                self.report.unreachable_nodes += 1;
+                return Transition::Yield {
+                    at,
+                    event: CollectEvent::Visit,
+                };
+            }
+            DeliveryOutcome::GaveUp => {
+                self.report.gave_up += 1;
+                return Transition::Yield {
+                    at,
+                    event: CollectEvent::Visit,
+                };
+            }
+        }
+        for &idx in &self.by_node[&node] {
+            let slot = &self.deployment.slots()[idx];
+            if slot.block.is_empty() {
+                continue;
+            }
+            self.decoder.insert_block(&slot.block);
+            self.report.blocks_collected += 1;
+            self.report
+                .levels_after_block
+                .push(self.decoder.decoded_levels());
+            let reached = match self.target {
+                Some(t) => self.decoder.decoded_levels() >= t,
+                None => self.decoder.is_complete(),
+            };
+            if reached {
+                self.report.target_reached = true;
+                return self.finalize();
+            }
+        }
+        Transition::Yield {
+            at,
+            event: CollectEvent::Visit,
+        }
+    }
+
+    fn finalize(&mut self) -> Transition<CollectEvent, CollectionReport> {
+        if self.target.is_none() && self.decoder.is_complete() {
+            self.report.target_reached = true;
+        }
+        emit_collect_obs(
+            &self.report,
+            self.decoder.decoded_levels(),
+            self.span_start,
+            self.faults.steps() as u64,
+        );
+        Transition::Done(std::mem::take(&mut self.report))
+    }
+}
+
+impl<N: NodeLocator, F: GfElem, D: PriorityDecoder<F>> SessionMachine
+    for CollectMachine<'_, N, F, D>
+{
+    type Event = CollectEvent;
+    type Output = CollectionReport;
+
+    fn poll(&mut self, _now: u64, event: CollectEvent) -> Transition<CollectEvent, Self::Output> {
+        match event {
+            CollectEvent::Visit => self.visit_next(),
+        }
+    }
+}

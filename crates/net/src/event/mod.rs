@@ -1,0 +1,41 @@
+//! Event-driven protocol runtime: a deterministic discrete-event
+//! scheduler executing poll-based session state machines.
+//!
+//! The synchronous protocol entry points used to run as monolithic call
+//! trees over fully materialized node tables, capping simulations near
+//! N=10³. This module splits each session into a typed state machine
+//! ([`SessionMachine`]) driven by a [`Scheduler`] — a `BinaryHeap`
+//! event queue ordered by `(logical_time, tie_break_seq)` whose ticks
+//! are the message-step clocks of [`crate::fault::FaultSession`] — with
+//! per-node session state lazily instantiated on first event touch
+//! ([`NodeScratch`]), so memory is O(active nodes) and N=10⁵ timelines
+//! run in seconds.
+//!
+//! Three invariants make runs bit-identical to the synchronous
+//! reference paths (kept in [`crate::sync`]) under pinned seeds:
+//!
+//! 1. **Same RNG order** — machines consume the caller's RNG and the
+//!    fault stream in exactly the synchronous operation order (origin
+//!    before fanout picks, β only on delivery, one shuffle per
+//!    session).
+//! 2. **Deterministic queue order** — events pop by `(tick, seq)`;
+//!    sequence numbers are assigned at `schedule()` time, so same-tick
+//!    events are FIFO and pop order never depends on heap internals.
+//! 3. **Logical clocks only** — ticks are message steps, never
+//!    wall-clock, so replay across hosts, thread counts and kernel
+//!    backends is exact.
+
+pub mod machine;
+pub mod queue;
+pub mod scratch;
+
+mod collect;
+mod predistribute;
+mod refresh;
+
+pub use collect::{CollectEvent, CollectMachine};
+pub use machine::{run_to_quiescence, SessionMachine, Transition};
+pub use predistribute::{PredistributeMachine, ProtocolEvent};
+pub use queue::{EventKey, Scheduler};
+pub use refresh::{RefreshEvent, RefreshMachine};
+pub use scratch::NodeScratch;

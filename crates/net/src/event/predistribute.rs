@@ -1,0 +1,235 @@
+//! The pre-distribution session as a poll-based state machine.
+//!
+//! Construction runs the *local* phases of the protocol — validation,
+//! the shared-seed location derivation and the per-level slot split —
+//! which every node computes independently without sending a message
+//! (see [`session_setup`]). The event loop then covers the only phase
+//! that actually touches the network: source dissemination.
+//! [`ProtocolEvent::NextSource`] opens one source block (drawing its
+//! origin node and fanout picks, in exactly the synchronous RNG order);
+//! [`ProtocolEvent::Deliver`] performs one delivery attempt through the
+//! fault session. Each yield is stamped with the session's message-step
+//! clock, so the scheduler's logical time is the same clock the causal
+//! tracer records.
+
+use std::collections::VecDeque;
+
+use prlc_core::Scheme;
+use prlc_gf::GfElem;
+use rand::seq::index::sample;
+use rand::Rng;
+
+use super::machine::{SessionMachine, Transition};
+use super::scratch::NodeScratch;
+use crate::fault::{DeliveryOutcome, FaultSession};
+use crate::network::{Network, NodeId};
+use crate::protocol::{
+    emit_predistribute_obs, session_setup, Deployment, DistributionMetrics, ProtocolConfig,
+    ProtocolError, StorageSlot,
+};
+
+/// Events driving a [`PredistributeMachine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolEvent {
+    /// Open the next source block: derive its eligible part, draw its
+    /// origin node and fanout picks, queue the deliveries.
+    NextSource,
+    /// Perform the next queued delivery attempt for the open source.
+    Deliver,
+}
+
+/// The pre-distribution session state machine.
+///
+/// Executed by [`run_to_quiescence`](super::run_to_quiescence); the
+/// public [`predistribute_with_faults`](crate::predistribute_with_faults)
+/// driver is bit-identical to the synchronous reference path
+/// ([`crate::sync::predistribute_with_faults`]) under pinned seeds.
+pub struct PredistributeMachine<'a, N: Network, F: GfElem, R: Rng + ?Sized> {
+    net: &'a N,
+    cfg: &'a ProtocolConfig,
+    sources: &'a [Vec<F>],
+    faults: &'a mut FaultSession,
+    rng: &'a mut R,
+    points: Vec<N::Point>,
+    slots: Vec<StorageSlot<F>>,
+    part_start: Vec<usize>,
+    scratch: NodeScratch,
+    span_start: u64,
+    metrics: DistributionMetrics,
+    next_source: usize,
+    origin: NodeId,
+    pending: VecDeque<usize>,
+}
+
+impl<'a, N: Network, F: GfElem, R: Rng + ?Sized> PredistributeMachine<'a, N, F, R> {
+    /// Validates the configuration and runs the local phases (location
+    /// derivation, slot split) — no events, no messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] when the network is empty or the
+    /// configuration is inconsistent, exactly as the synchronous path.
+    pub fn new(
+        net: &'a N,
+        cfg: &'a ProtocolConfig,
+        sources: &'a [Vec<F>],
+        faults: &'a mut FaultSession,
+        rng: &'a mut R,
+    ) -> Result<Self, ProtocolError> {
+        let setup = session_setup::<N, F>(net, cfg, sources.len(), faults)?;
+        Ok(PredistributeMachine {
+            net,
+            cfg,
+            sources,
+            faults,
+            rng,
+            points: setup.points,
+            slots: setup.slots,
+            part_start: setup.part_start,
+            scratch: setup.scratch,
+            span_start: setup.span_start,
+            metrics: DistributionMetrics::default(),
+            next_source: 0,
+            origin: NodeId::new(0),
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// The message-step tick the session starts at (seed the scheduler
+    /// with the initial [`ProtocolEvent::NextSource`] here).
+    pub fn start_tick(&self) -> u64 {
+        self.span_start
+    }
+
+    fn open_next_source(
+        &mut self,
+        now: u64,
+    ) -> Transition<ProtocolEvent, Result<Deployment<F>, ProtocolError>> {
+        let j = self.next_source;
+        if j == self.sources.len() {
+            return self.finalize();
+        }
+        let level = self.cfg.profile.level_of(j);
+        let n_levels = self.cfg.profile.num_levels();
+        let eligible: std::ops::Range<usize> = match self.cfg.scheme {
+            Scheme::Slc => self.part_start[level]..self.part_start[level + 1],
+            Scheme::Plc => self.part_start[level]..self.part_start[n_levels],
+            Scheme::Rlc => 0..self.cfg.locations,
+        };
+        let eligible_len = eligible.len();
+        if eligible_len == 0 {
+            // A zero-mass part: nothing stores this level. No RNG draw,
+            // no message — same tick.
+            self.next_source += 1;
+            return Transition::Yield {
+                at: now,
+                event: ProtocolEvent::NextSource,
+            };
+        }
+        let Some(origin) = self.net.random_alive_node(&mut *self.rng) else {
+            // alive_count > 0 was validated at construction and the
+            // substrate is immutable during the session; surface a
+            // stall instead of panicking if the invariant ever breaks.
+            return Transition::Done(Err(ProtocolError::Stalled));
+        };
+        self.origin = origin;
+        let fanout = self
+            .cfg
+            .fanout
+            .count(eligible_len, self.cfg.profile.total_blocks());
+        for pick in sample(&mut *self.rng, eligible_len, fanout) {
+            self.pending.push_back(eligible.start + pick);
+        }
+        if self.pending.is_empty() {
+            self.next_source += 1;
+            return Transition::Yield {
+                at: now,
+                event: ProtocolEvent::NextSource,
+            };
+        }
+        Transition::Yield {
+            at: self.faults.steps() as u64,
+            event: ProtocolEvent::Deliver,
+        }
+    }
+
+    fn deliver_one(&mut self) -> Transition<ProtocolEvent, Result<Deployment<F>, ProtocolError>> {
+        let j = self.next_source;
+        let Some(slot_idx) = self.pending.pop_front() else {
+            // Deliver is only ever yielded with a non-empty queue; fall
+            // through to the next source rather than stalling.
+            self.next_source += 1;
+            return Transition::Yield {
+                at: self.faults.steps() as u64,
+                event: ProtocolEvent::NextSource,
+            };
+        };
+        match self.net.route(self.origin, self.points[slot_idx]) {
+            Some(route) => {
+                debug_assert_eq!(route.owner, self.slots[slot_idx].node);
+                let delivery = self.faults.attempt(self.slots[slot_idx].node, route.hops);
+                self.metrics.lost_messages += delivery.lost;
+                self.metrics.retries += delivery.attempts.saturating_sub(1);
+                match delivery.outcome {
+                    DeliveryOutcome::Delivered => {
+                        self.metrics.messages += 1;
+                        self.metrics.total_hops += delivery.cost_hops;
+                        let beta = F::random_nonzero(&mut *self.rng);
+                        self.slots[slot_idx]
+                            .block
+                            .accumulate(j, beta, &self.sources[j]);
+                    }
+                    DeliveryOutcome::Unreachable => {
+                        self.metrics.failed_deliveries += 1;
+                        self.metrics.unreachable_nodes += 1;
+                    }
+                    DeliveryOutcome::GaveUp => {
+                        self.metrics.failed_deliveries += 1;
+                        self.metrics.gave_up += 1;
+                    }
+                }
+            }
+            None => self.metrics.failed_deliveries += 1,
+        }
+        let at = self.faults.steps() as u64;
+        if self.pending.is_empty() {
+            self.next_source += 1;
+            Transition::Yield {
+                at,
+                event: ProtocolEvent::NextSource,
+            }
+        } else {
+            Transition::Yield {
+                at,
+                event: ProtocolEvent::Deliver,
+            }
+        }
+    }
+
+    fn finalize(&mut self) -> Transition<ProtocolEvent, Result<Deployment<F>, ProtocolError>> {
+        self.metrics.max_node_load = self.scratch.max_load();
+        emit_predistribute_obs(
+            &self.metrics,
+            self.scratch.touched(),
+            self.span_start,
+            self.faults.steps() as u64,
+        );
+        Transition::Done(Ok(Deployment::assemble(
+            std::mem::take(&mut self.slots),
+            self.metrics.clone(),
+            self.cfg.profile.clone(),
+        )))
+    }
+}
+
+impl<N: Network, F: GfElem, R: Rng + ?Sized> SessionMachine for PredistributeMachine<'_, N, F, R> {
+    type Event = ProtocolEvent;
+    type Output = Result<Deployment<F>, ProtocolError>;
+
+    fn poll(&mut self, now: u64, event: ProtocolEvent) -> Transition<ProtocolEvent, Self::Output> {
+        match event {
+            ProtocolEvent::NextSource => self.open_next_source(now),
+            ProtocolEvent::Deliver => self.deliver_one(),
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The deterministic discrete-event queue.
+//!
+//! A [`Scheduler`] is a `BinaryHeap` min-queue of events ordered by
+//! `(logical_time, tie_break_seq)`. The logical time is a *message-step
+//! clock* — the same [`FaultSession::steps`](crate::FaultSession::steps)
+//! counter the causal tracer stamps — never wall-clock: a wall-clock
+//! tick would make pop order depend on host load and destroy the
+//! bit-identical replay guarantee every other layer is built on. The
+//! tie-break sequence is a monotone counter assigned at `schedule()`
+//! time, so events scheduled for the same tick pop in FIFO order and
+//! the queue's total order is independent of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The total order of the event queue: logical tick first, insertion
+/// sequence second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// Logical time (message-step clock) the event fires at.
+    pub tick: u64,
+    /// Insertion sequence number breaking ties within a tick.
+    pub seq: u64,
+}
+
+/// Heap entry; the `Ord` impl is *reversed* on the key (and blind to
+/// the payload) so `BinaryHeap`'s max-heap pops the smallest key first.
+struct Entry<E> {
+    key: EventKey,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.cmp(&self.key)
+    }
+}
+
+/// A deterministic discrete-event queue over event payloads of type `E`.
+#[derive(Default)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Scheduler<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Enqueues `event` to fire at logical time `tick`, returning the
+    /// key it was filed under. Keys are unique (the sequence component
+    /// never repeats), so pop order is a strict total order.
+    pub fn schedule(&mut self, tick: u64, event: E) -> EventKey {
+        let key = EventKey {
+            tick,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.heap.push(Entry { key, event });
+        key
+    }
+
+    /// Removes and returns the earliest event, or `None` when drained.
+    pub fn pop(&mut self) -> Option<(EventKey, E)> {
+        self.heap.pop().map(|e| (e.key, e.event))
+    }
+
+    /// Events currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is drained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_tick_order() {
+        let mut q = Scheduler::new();
+        q.schedule(5, "c");
+        q.schedule(1, "a");
+        q.schedule(3, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_tick_is_fifo() {
+        let mut q = Scheduler::new();
+        for i in 0..100 {
+            q.schedule(7, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_ticks_and_sequences() {
+        let mut q = Scheduler::new();
+        q.schedule(2, "t2-first");
+        q.schedule(0, "t0");
+        q.schedule(2, "t2-second");
+        let (k0, e0) = q.pop().expect("three queued");
+        assert_eq!((k0.tick, e0), (0, "t0"));
+        let (k1, e1) = q.pop().expect("two left");
+        let (k2, e2) = q.pop().expect("one left");
+        assert_eq!((e1, e2), ("t2-first", "t2-second"));
+        assert!(k1 < k2);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+}

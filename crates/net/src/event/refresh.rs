@@ -1,0 +1,202 @@
+//! The repair session as a poll-based state machine.
+//!
+//! Construction performs the alive-network guard and indexes dead and
+//! surviving slots (local work). Each [`RefreshEvent::Repair`] then
+//! repairs one dead slot: donor selection, the donor fetches through
+//! the fault session, and the re-placement of the repaired block —
+//! consuming the caller's RNG in exactly the synchronous order.
+
+use prlc_core::{CodedBlock, Scheme};
+use prlc_gf::GfElem;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use super::machine::{SessionMachine, Transition};
+use crate::collect::NodeLocator;
+use crate::fault::{DeliveryOutcome, FaultSession};
+use crate::protocol::Deployment;
+use crate::refresh::{emit_refresh_obs, RefreshConfig, RefreshReport};
+
+/// Events driving a [`RefreshMachine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshEvent {
+    /// Repair the next dead slot (donor fetches plus re-placement).
+    Repair,
+}
+
+/// The repair session state machine.
+///
+/// Executed by [`run_to_quiescence`](super::run_to_quiescence); the
+/// public [`refresh_with_faults`](crate::refresh_with_faults) driver is
+/// bit-identical to the synchronous reference path
+/// ([`crate::sync::refresh_with_faults`]) under pinned seeds.
+pub struct RefreshMachine<'a, N: NodeLocator, F: GfElem, R: Rng + ?Sized> {
+    net: &'a N,
+    deployment: &'a mut Deployment<F>,
+    cfg: &'a RefreshConfig,
+    faults: &'a mut FaultSession,
+    rng: &'a mut R,
+    dead: Vec<usize>,
+    alive_slots: Vec<usize>,
+    next_dead: usize,
+    report: RefreshReport,
+    span_start: u64,
+}
+
+impl<'a, N: NodeLocator, F: GfElem, R: Rng + ?Sized> RefreshMachine<'a, N, F, R> {
+    /// Guards the network and indexes dead/surviving slots. Returns
+    /// `None` when no node is alive — exactly the synchronous
+    /// precondition.
+    pub fn new(
+        net: &'a N,
+        deployment: &'a mut Deployment<F>,
+        cfg: &'a RefreshConfig,
+        faults: &'a mut FaultSession,
+        rng: &'a mut R,
+    ) -> Option<Self> {
+        if net.alive_count() == 0 {
+            return None;
+        }
+        let span_start = faults.steps() as u64;
+        let dead: Vec<usize> = (0..deployment.slots().len())
+            .filter(|&i| !net.is_alive(deployment.slots()[i].node))
+            .collect();
+        let alive_slots: Vec<usize> = (0..deployment.slots().len())
+            .filter(|&i| net.is_alive(deployment.slots()[i].node))
+            .collect();
+        Some(RefreshMachine {
+            net,
+            deployment,
+            cfg,
+            faults,
+            rng,
+            dead,
+            alive_slots,
+            next_dead: 0,
+            report: RefreshReport::default(),
+            span_start,
+        })
+    }
+
+    /// The message-step tick the session starts at.
+    pub fn start_tick(&self) -> u64 {
+        self.span_start
+    }
+
+    fn repair_next(&mut self, now: u64) -> Transition<RefreshEvent, RefreshReport> {
+        if self.next_dead >= self.dead.len() {
+            return self.finalize();
+        }
+        let slot_idx = self.dead[self.next_dead];
+        self.next_dead += 1;
+        let level = self.deployment.slots()[slot_idx].level;
+        // Eligible donors under the scheme's support rules.
+        let mut donors: Vec<usize> = self
+            .alive_slots
+            .iter()
+            .copied()
+            .filter(|&j| {
+                let donor = &self.deployment.slots()[j];
+                if donor.block.is_empty() {
+                    return false;
+                }
+                match self.cfg.scheme {
+                    Scheme::Slc => donor.level == level,
+                    Scheme::Plc => donor.level <= level,
+                    Scheme::Rlc => true,
+                }
+            })
+            .collect();
+        if donors.is_empty() {
+            // No RNG draw, no message — same tick.
+            self.report.unrepairable += 1;
+            return Transition::Yield {
+                at: now,
+                event: RefreshEvent::Repair,
+            };
+        }
+        donors.shuffle(&mut *self.rng);
+        donors.truncate(self.cfg.donors_per_slot.max(1));
+
+        // Place the repaired block at the owner of a fresh random point.
+        let point = self.net.random_point(&mut *self.rng);
+        let Some(new_node) = self.net.owner_of(point) else {
+            // alive_count > 0 was validated at construction and the
+            // substrate is immutable during the session; count the slot
+            // unrepairable instead of panicking if that ever breaks.
+            self.report.unrepairable += 1;
+            return Transition::Yield {
+                at: self.faults.steps() as u64,
+                event: RefreshEvent::Repair,
+            };
+        };
+
+        let width = self.deployment.profile().total_blocks();
+        let mut block: CodedBlock<F> = CodedBlock::empty(level, width);
+        let mut fetched = 0usize;
+        for &j in &donors {
+            let donor_slot = &self.deployment.slots()[j];
+            // Fetch the donor block: route from the repairing node to
+            // the donor's cache.
+            let Some(route) = self.net.route(new_node, self.net.locate(donor_slot.node)) else {
+                self.report.unreachable_nodes += 1;
+                continue;
+            };
+            let delivery = self.faults.attempt(donor_slot.node, route.hops);
+            self.report.lost_messages += delivery.lost;
+            self.report.retries += delivery.attempts.saturating_sub(1);
+            self.report.total_hops += delivery.cost_hops;
+            match delivery.outcome {
+                DeliveryOutcome::Delivered => {}
+                DeliveryOutcome::Unreachable => {
+                    self.report.unreachable_nodes += 1;
+                    continue;
+                }
+                DeliveryOutcome::GaveUp => {
+                    self.report.gave_up += 1;
+                    continue;
+                }
+            }
+            self.report.messages += 1;
+            let beta = F::random_nonzero(&mut *self.rng);
+            let donor_block = donor_slot.block.clone();
+            block.combine(&donor_block, beta);
+            fetched += 1;
+        }
+
+        let at = self.faults.steps() as u64;
+        if fetched == 0 {
+            // Every donor fetch failed: the slot stays lost rather than
+            // acquiring an empty block on a new node.
+            self.report.unrepairable += 1;
+            return Transition::Yield {
+                at,
+                event: RefreshEvent::Repair,
+            };
+        }
+        let slot = &mut self.deployment.slots_mut()[slot_idx];
+        slot.node = new_node;
+        slot.block = block;
+        self.report.repaired += 1;
+        Transition::Yield {
+            at,
+            event: RefreshEvent::Repair,
+        }
+    }
+
+    fn finalize(&mut self) -> Transition<RefreshEvent, RefreshReport> {
+        emit_refresh_obs(&self.report, self.span_start, self.faults.steps() as u64);
+        Transition::Done(std::mem::take(&mut self.report))
+    }
+}
+
+impl<N: NodeLocator, F: GfElem, R: Rng + ?Sized> SessionMachine for RefreshMachine<'_, N, F, R> {
+    type Event = RefreshEvent;
+    type Output = RefreshReport;
+
+    fn poll(&mut self, now: u64, event: RefreshEvent) -> Transition<RefreshEvent, Self::Output> {
+        match event {
+            RefreshEvent::Repair => self.repair_next(now),
+        }
+    }
+}

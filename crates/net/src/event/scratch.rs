@@ -1,0 +1,81 @@
+//! Lazily instantiated per-node session state.
+//!
+//! The synchronous protocol used to allocate a dense
+//! `vec![0; node_count]` load table per session — O(N) memory and
+//! initialisation even when a session only ever touches a handful of
+//! nodes, which is what capped simulations near N=10³. [`NodeScratch`]
+//! keeps the same per-node counters in a `BTreeMap` instantiated on
+//! first touch, so session memory is O(active nodes): reads of
+//! untouched nodes return the zero a fresh dense table would have held
+//! (no entry is created), and only [`bump`](NodeScratch::bump)
+//! instantiates. The number of instantiated entries is reported as the
+//! `net.event.nodes_touched` counter, which the memory-bound test
+//! asserts stays O(active) at N=10⁵.
+
+use std::collections::BTreeMap;
+
+use crate::network::NodeId;
+
+/// Per-node load counters, instantiated on first write.
+#[derive(Debug, Clone, Default)]
+pub struct NodeScratch {
+    load: BTreeMap<usize, usize>,
+}
+
+impl NodeScratch {
+    /// An empty scratch: no node state instantiated yet.
+    pub fn new() -> Self {
+        NodeScratch {
+            load: BTreeMap::new(),
+        }
+    }
+
+    /// The load of `node` — zero for untouched nodes, without
+    /// instantiating an entry (reads must stay O(active)).
+    pub fn load(&self, node: NodeId) -> usize {
+        self.load.get(&node.index()).copied().unwrap_or(0)
+    }
+
+    /// Increments the load of `node`, instantiating its entry on first
+    /// touch.
+    pub fn bump(&mut self, node: NodeId) {
+        *self.load.entry(node.index()).or_insert(0) += 1;
+    }
+
+    /// Nodes whose state has been instantiated this session.
+    pub fn touched(&self) -> usize {
+        self.load.len()
+    }
+
+    /// The maximum per-node load — equal to `max` over the dense table
+    /// the synchronous path used to allocate (untouched nodes hold 0).
+    pub fn max_load(&self) -> usize {
+        self.load.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_do_not_instantiate() {
+        let s = NodeScratch::new();
+        assert_eq!(s.load(NodeId::new(123_456)), 0);
+        assert_eq!(s.touched(), 0);
+        assert_eq!(s.max_load(), 0);
+    }
+
+    #[test]
+    fn bumps_instantiate_and_count() {
+        let mut s = NodeScratch::new();
+        s.bump(NodeId::new(3));
+        s.bump(NodeId::new(3));
+        s.bump(NodeId::new(9));
+        assert_eq!(s.load(NodeId::new(3)), 2);
+        assert_eq!(s.load(NodeId::new(9)), 1);
+        assert_eq!(s.load(NodeId::new(4)), 0);
+        assert_eq!(s.touched(), 2);
+        assert_eq!(s.max_load(), 2);
+    }
+}

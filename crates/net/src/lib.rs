@@ -20,6 +20,12 @@
 //!   backoff, and churn events interleaved with protocol steps
 //!   ([`FaultPlan`] / [`collect_with_faults`] /
 //!   [`predistribute_with_faults`] / [`refresh_with_faults`]).
+//! * [`event`] — the deterministic discrete-event runtime the faulty
+//!   entry points run on: a `(tick, seq)`-ordered scheduler executing
+//!   poll-based session state machines with lazily instantiated
+//!   per-node state, scaling simulations to N=10⁵ and beyond. The
+//!   original monolithic loops survive in [`sync`] as the byte-exact
+//!   reference the runtime is diffed against.
 //!
 //! # Example: persist and recover through 40% node failure
 //!
@@ -66,6 +72,7 @@
 #![warn(missing_docs)]
 
 pub mod collect;
+pub mod event;
 pub mod fault;
 pub mod network;
 pub mod plane;
@@ -73,6 +80,7 @@ pub mod protocol;
 pub mod refresh;
 pub mod ring;
 pub mod rounds;
+pub mod sync;
 
 pub use collect::{collect, collect_with_faults, CollectionConfig, CollectionReport, NodeLocator};
 pub use fault::{

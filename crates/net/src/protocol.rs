@@ -27,6 +27,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::event::NodeScratch;
 use crate::fault::{DeliveryOutcome, FaultPlan, FaultSession};
 use crate::network::{Network, NodeId};
 
@@ -50,7 +51,7 @@ impl SourceFanout {
         self.count(eligible, n_total)
     }
 
-    fn count(self, eligible: usize, n_total: usize) -> usize {
+    pub(crate) fn count(self, eligible: usize, n_total: usize) -> usize {
         match self {
             SourceFanout::All => eligible,
             SourceFanout::Log { factor } => {
@@ -108,6 +109,10 @@ pub enum ProtocolError {
         /// Aggregate capacity of the alive nodes (`W·d`).
         available: usize,
     },
+    /// The event scheduler drained without the session completing — an
+    /// internal-invariant breach (a well-formed session machine yields
+    /// or finishes on every poll), surfaced instead of panicking.
+    Stalled,
 }
 
 impl fmt::Display for ProtocolError {
@@ -124,6 +129,9 @@ impl fmt::Display for ProtocolError {
                 f,
                 "network cache capacity {available} cannot hold {needed} coded blocks"
             ),
+            ProtocolError::Stalled => {
+                write!(f, "event scheduler drained before the session completed")
+            }
         }
     }
 }
@@ -131,7 +139,7 @@ impl fmt::Display for ProtocolError {
 impl std::error::Error for ProtocolError {}
 
 /// SplitMix64-style domain separation for the shared location seed.
-fn mix_seed(seed: u64) -> u64 {
+pub(crate) fn mix_seed(seed: u64) -> u64 {
     let mut z = seed ^ 0x50524C_433A4C4F; // "PRLC:LO"
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -210,6 +218,20 @@ impl<F: GfElem> Deployment<F> {
         Deployment {
             slots,
             metrics: DistributionMetrics::default(),
+            profile,
+        }
+    }
+
+    /// Assembles a deployment from a completed session's parts (the
+    /// event machine's finalize step).
+    pub(crate) fn assemble(
+        slots: Vec<StorageSlot<F>>,
+        metrics: DistributionMetrics,
+        profile: PriorityProfile,
+    ) -> Self {
+        Deployment {
+            slots,
+            metrics,
             profile,
         }
     }
@@ -301,11 +323,48 @@ pub fn predistribute_with_faults<N: Network, F: GfElem, R: Rng + ?Sized>(
     faults: &mut FaultSession,
     rng: &mut R,
 ) -> Result<Deployment<F>, ProtocolError> {
+    let mut machine = crate::event::PredistributeMachine::new(net, cfg, sources, faults, rng)?;
+    let start = machine.start_tick();
+    match crate::event::run_to_quiescence(
+        &mut machine,
+        start,
+        crate::event::ProtocolEvent::NextSource,
+    ) {
+        Some(result) => result,
+        None => Err(ProtocolError::Stalled),
+    }
+}
+
+/// Everything both dissemination paths derive *locally* before any
+/// message is sent: validation, the shared-seed location derivation
+/// (phase 1) and the per-level slot split (phase 2).
+pub(crate) struct SessionSetup<P, F> {
+    /// Derived storage points, one per location.
+    pub(crate) points: Vec<P>,
+    /// Storage slots (owner, level, empty block), one per location.
+    pub(crate) slots: Vec<StorageSlot<F>>,
+    /// Part boundaries in slot index space (`counts` prefix sums).
+    pub(crate) part_start: Vec<usize>,
+    /// Lazily instantiated per-node load counters from phase 1.
+    pub(crate) scratch: NodeScratch,
+    /// The message-step tick the session starts at.
+    pub(crate) span_start: u64,
+}
+
+/// Validates `cfg` and runs phases 1–2 of the protocol. Shared by the
+/// synchronous reference path and the event machine so the two can
+/// never drift on the local computation.
+pub(crate) fn session_setup<N: Network, F: GfElem>(
+    net: &N,
+    cfg: &ProtocolConfig,
+    source_count: usize,
+    faults: &FaultSession,
+) -> Result<SessionSetup<N::Point, F>, ProtocolError> {
     let n_blocks = cfg.profile.total_blocks();
-    if sources.len() != n_blocks {
+    if source_count != n_blocks {
         return Err(ProtocolError::SourceCountMismatch {
             expected: n_blocks,
-            got: sources.len(),
+            got: source_count,
         });
     }
     if cfg.profile.num_levels() != cfg.distribution.num_levels() {
@@ -333,7 +392,12 @@ pub fn predistribute_with_faults<N: Network, F: GfElem, R: Rng + ?Sized>(
         }
     }
     let capacity = cfg.node_capacity.unwrap_or(usize::MAX);
-    let mut load = vec![0usize; net.node_count()];
+    // Per-node load is instantiated lazily on first touch: a session
+    // placing M locations touches O(M) nodes, never the full table —
+    // the dense `vec![0; node_count]` this replaces was the O(N) cost
+    // that capped large-N runs. Reads of untouched nodes return 0,
+    // exactly what the dense table held.
+    let mut load = NodeScratch::new();
     let mut points: Vec<N::Point> = Vec::with_capacity(cfg.locations);
     let mut owners: Vec<NodeId> = Vec::with_capacity(cfg.locations);
     for _ in 0..cfg.locations {
@@ -348,11 +412,11 @@ pub fn predistribute_with_faults<N: Network, F: GfElem, R: Rng + ?Sized>(
             if cfg.two_choices {
                 let p2 = net.random_point(&mut seed_rng);
                 let o2 = net.owner_of(p2).expect("alive_count > 0");
-                let c1 = load[o1.index()] < capacity;
-                let c2 = load[o2.index()] < capacity;
+                let c1 = load.load(o1) < capacity;
+                let c2 = load.load(o2) < capacity;
                 match (c1, c2) {
                     (true, true) => {
-                        if load[o2.index()] < load[o1.index()] {
+                        if load.load(o2) < load.load(o1) {
                             break (p2, o2);
                         }
                         break (p1, o1);
@@ -362,11 +426,11 @@ pub fn predistribute_with_faults<N: Network, F: GfElem, R: Rng + ?Sized>(
                     (false, false) => continue,
                 }
             }
-            if load[o1.index()] < capacity {
+            if load.load(o1) < capacity {
                 break (p1, o1);
             }
         };
-        load[owner.index()] += 1;
+        load.bump(owner);
         points.push(point);
         owners.push(owner);
     }
@@ -377,7 +441,7 @@ pub fn predistribute_with_faults<N: Network, F: GfElem, R: Rng + ?Sized>(
     for (level, &c) in counts.iter().enumerate() {
         slot_level.extend(std::iter::repeat_n(level, c));
     }
-    let mut slots: Vec<StorageSlot<F>> = owners
+    let slots: Vec<StorageSlot<F>> = owners
         .iter()
         .zip(&slot_level)
         .map(|(&node, &level)| StorageSlot {
@@ -392,6 +456,79 @@ pub fn predistribute_with_faults<N: Network, F: GfElem, R: Rng + ?Sized>(
     for (i, &c) in counts.iter().enumerate() {
         part_start[i + 1] = part_start[i] + c;
     }
+
+    Ok(SessionSetup {
+        points,
+        slots,
+        part_start,
+        scratch: load,
+        span_start,
+    })
+}
+
+/// Per-session metric and trace emission shared by the synchronous
+/// reference path and the event machine — one call site, so the two
+/// paths' observability output is byte-identical by construction.
+pub(crate) fn emit_predistribute_obs(
+    metrics: &DistributionMetrics,
+    nodes_touched: usize,
+    span_start: u64,
+    span_end: u64,
+) {
+    if prlc_obs::enabled() {
+        // Per-session fault accounting, mirroring the metrics struct.
+        prlc_obs::counter!("net.predistribute.sessions").incr();
+        prlc_obs::counter!("net.predistribute.messages").add(metrics.messages as u64);
+        prlc_obs::counter!("net.predistribute.failed_deliveries")
+            .add(metrics.failed_deliveries as u64);
+        prlc_obs::counter!("net.predistribute.lost_messages").add(metrics.lost_messages as u64);
+        prlc_obs::counter!("net.predistribute.retries").add(metrics.retries as u64);
+        prlc_obs::counter!("net.predistribute.gave_up").add(metrics.gave_up as u64);
+        prlc_obs::counter!("net.predistribute.unreachable_nodes")
+            .add(metrics.unreachable_nodes as u64);
+        prlc_obs::histogram!("net.predistribute.max_node_load")
+            .observe(metrics.max_node_load as u64);
+        // Lazily instantiated node entries this session — the memory
+        // bound the event runtime guarantees (O(active), not O(N)).
+        prlc_obs::counter!("net.event.nodes_touched").add(nodes_touched as u64);
+    }
+    if prlc_obs::trace::enabled() {
+        // Causal span on the session's message-step clock.
+        prlc_obs::trace_span!(
+            "net.predistribute.session",
+            span_start,
+            span_end,
+            messages: metrics.messages as u64,
+            failed: metrics.failed_deliveries as u64,
+        );
+    }
+}
+
+/// The synchronous reference implementation of
+/// [`predistribute_with_faults`]: the original monolithic call tree,
+/// kept verbatim as the ground truth the event-driven runtime is
+/// byte-diffed against (see `tests/event_equivalence.rs`). Exported as
+/// [`crate::sync::predistribute_with_faults`].
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] when the network is empty or the
+/// configuration is inconsistent.
+pub fn predistribute_with_faults_sync<N: Network, F: GfElem, R: Rng + ?Sized>(
+    net: &N,
+    cfg: &ProtocolConfig,
+    sources: &[Vec<F>],
+    faults: &mut FaultSession,
+    rng: &mut R,
+) -> Result<Deployment<F>, ProtocolError> {
+    let SessionSetup {
+        points,
+        mut slots,
+        part_start,
+        scratch,
+        span_start,
+    } = session_setup::<N, F>(net, cfg, sources.len(), faults)?;
+    let n_blocks = cfg.profile.total_blocks();
 
     // Phase 3: disseminate each source block to its eligible locations;
     // each receiving cache folds it in with a fresh random coefficient.
@@ -445,32 +582,13 @@ pub fn predistribute_with_faults<N: Network, F: GfElem, R: Rng + ?Sized>(
         }
     }
 
-    metrics.max_node_load = load.iter().copied().max().unwrap_or(0);
-
-    if prlc_obs::enabled() {
-        // Per-session fault accounting, mirroring the metrics struct.
-        prlc_obs::counter!("net.predistribute.sessions").incr();
-        prlc_obs::counter!("net.predistribute.messages").add(metrics.messages as u64);
-        prlc_obs::counter!("net.predistribute.failed_deliveries")
-            .add(metrics.failed_deliveries as u64);
-        prlc_obs::counter!("net.predistribute.lost_messages").add(metrics.lost_messages as u64);
-        prlc_obs::counter!("net.predistribute.retries").add(metrics.retries as u64);
-        prlc_obs::counter!("net.predistribute.gave_up").add(metrics.gave_up as u64);
-        prlc_obs::counter!("net.predistribute.unreachable_nodes")
-            .add(metrics.unreachable_nodes as u64);
-        prlc_obs::histogram!("net.predistribute.max_node_load")
-            .observe(metrics.max_node_load as u64);
-    }
-    if prlc_obs::trace::enabled() {
-        // Causal span on the session's message-step clock.
-        prlc_obs::trace_span!(
-            "net.predistribute.session",
-            span_start,
-            faults.steps() as u64,
-            messages: metrics.messages as u64,
-            failed: metrics.failed_deliveries as u64,
-        );
-    }
+    metrics.max_node_load = scratch.max_load();
+    emit_predistribute_obs(
+        &metrics,
+        scratch.touched(),
+        span_start,
+        faults.steps() as u64,
+    );
 
     Ok(Deployment {
         slots,

@@ -3,14 +3,17 @@
 //!
 //! Nodes hold random 64-bit IDs on a ring; the owner of a point is its
 //! *successor* (first node ID at or clockwise-after the point). Routing
-//! uses per-node finger tables (`finger[i]` = successor of
-//! `id + 2^i`), giving the classic `O(log W)` greedy lookup. After
-//! failures the structure re-stabilises (successor lists and fingers are
-//! rebuilt over the surviving nodes), modelling Chord's stabilisation
-//! protocol having converged before the next operation.
+//! takes the classic `O(log W)` greedy finger steps — `finger[k]` =
+//! successor of `id + 2^k` — but fingers are computed *on demand* from
+//! the sorted alive-ID array (a binary search per finger) instead of
+//! being materialised per node. That keeps stabilisation O(N log N) and
+//! memory O(N) rather than O(N·64), which is what lets event-driven
+//! simulations run at N=10⁵–10⁶. After failures the structure
+//! re-stabilises (the successor array is rebuilt over the surviving
+//! nodes), modelling Chord's stabilisation protocol having converged
+//! before the next operation.
 
 use rand::Rng;
-use std::collections::BTreeMap;
 
 use crate::network::{Network, NodeId, Route};
 
@@ -26,10 +29,8 @@ pub struct RingNetwork {
     ids: Vec<u64>,
     alive: Vec<bool>,
     alive_count: usize,
-    /// Alive nodes sorted by ring ID: id -> dense index.
-    sorted: BTreeMap<u64, usize>,
-    /// fingers[node][i] = dense index of successor(ids[node] + 2^i).
-    fingers: Vec<Vec<usize>>,
+    /// Alive nodes sorted by ring ID: `(id, dense index)`.
+    sorted: Vec<(u64, usize)>,
 }
 
 impl RingNetwork {
@@ -41,10 +42,10 @@ impl RingNetwork {
     pub fn new<R: Rng + ?Sized>(nodes: usize, rng: &mut R) -> Self {
         assert!(nodes > 0, "a ring needs at least one node");
         let mut ids = Vec::with_capacity(nodes);
-        let mut sorted = BTreeMap::new();
+        let mut seen = std::collections::BTreeMap::new();
         while ids.len() < nodes {
             let id: u64 = rng.gen();
-            if let std::collections::btree_map::Entry::Vacant(e) = sorted.entry(id) {
+            if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(id) {
                 e.insert(ids.len());
                 ids.push(id);
             }
@@ -53,8 +54,7 @@ impl RingNetwork {
             ids,
             alive: vec![true; nodes],
             alive_count: nodes,
-            sorted,
-            fingers: Vec::new(),
+            sorted: Vec::new(),
         };
         net.stabilize();
         net
@@ -69,8 +69,10 @@ impl RingNetwork {
         self.ids[node.index()]
     }
 
-    /// Rebuilds successor structure and finger tables over the alive
-    /// nodes (Chord stabilisation, assumed converged).
+    /// Rebuilds the successor structure over the alive nodes (Chord
+    /// stabilisation, assumed converged). Fingers are derived from it on
+    /// demand during routing, so this is the whole rebuild: one filter
+    /// and one sort, O(N log N).
     pub fn stabilize(&mut self) {
         self.sorted = self
             .ids
@@ -79,35 +81,21 @@ impl RingNetwork {
             .filter(|&(i, _)| self.alive[i])
             .map(|(i, &id)| (id, i))
             .collect();
-        self.fingers = vec![Vec::new(); self.ids.len()];
-        if self.sorted.is_empty() {
-            return;
-        }
-        for (i, &id) in self.ids.iter().enumerate() {
-            if !self.alive[i] {
-                continue;
-            }
-            let table: Vec<usize> = (0..ID_BITS)
-                .map(|k| self.successor(id.wrapping_add(1u64 << k)))
-                .collect();
-            self.fingers[i] = table;
-        }
+        self.sorted.sort_unstable_by_key(|&(id, _)| id);
     }
 
     /// Dense index of the alive successor of `point` (first alive ID at
-    /// or after `point`, wrapping).
+    /// or after `point`, wrapping). Binary search over the sorted
+    /// alive-ID array.
     ///
     /// # Panics
     ///
     /// Panics if no node is alive.
     fn successor(&self, point: u64) -> usize {
         assert!(!self.sorted.is_empty(), "no alive nodes");
-        self.sorted
-            .range(point..)
-            .next()
-            .or_else(|| self.sorted.iter().next())
-            .map(|(_, &idx)| idx)
-            .expect("sorted map is non-empty")
+        let i = self.sorted.partition_point(|&(id, _)| id < point);
+        let i = if i == self.sorted.len() { 0 } else { i };
+        self.sorted[i].1
     }
 
     /// Clockwise distance from `a` to `b` on the ring.
@@ -181,11 +169,14 @@ impl Network for RingNetwork {
             }
             // Greedy Chord step: the finger that makes the most clockwise
             // progress toward `point` without overshooting the owner.
+            // finger[k] = successor(id + 2^k), computed by binary search
+            // instead of a materialised table.
             let cur_id = self.ids[current];
             let dist = Self::clockwise(cur_id, point);
             let mut best = None;
             let mut best_remaining = dist;
-            for &f in &self.fingers[current] {
+            for k in 0..ID_BITS {
+                let f = self.successor(cur_id.wrapping_add(1u64 << k));
                 if f == current {
                     continue;
                 }

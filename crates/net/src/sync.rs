@@ -1,0 +1,14 @@
+//! Synchronous reference implementations of the protocol sessions.
+//!
+//! The public entry points ([`crate::predistribute_with_faults`],
+//! [`crate::collect_with_faults`], [`crate::refresh_with_faults`]) are
+//! thin drivers over the event-driven runtime in [`crate::event`]. The
+//! functions re-exported here are the original monolithic loops, kept
+//! verbatim as ground truth: `tests/event_equivalence.rs` byte-diffs
+//! reports, slots, metrics snapshots and trace dumps of the two paths
+//! under pinned seeds. They are *not* deprecated — they are the
+//! executable specification the scheduler is held to.
+
+pub use crate::collect::collect_with_faults_sync as collect_with_faults;
+pub use crate::protocol::predistribute_with_faults_sync as predistribute_with_faults;
+pub use crate::refresh::refresh_with_faults_sync as refresh_with_faults;

@@ -61,4 +61,7 @@ pub use metadata::RunMetadata;
 pub use runner::{default_threads, run_parallel, run_parallel_with_threads, run_seed, splitmix64};
 pub use stats::{summarize, summarize_trajectories, Summary};
 pub use table::{fmt_f, Table};
-pub use timeline::{simulate_persistence_timeline, TimelineConfig};
+pub use timeline::{
+    simulate_persistence_timeline, simulate_persistence_timeline_with_threads,
+    timeline_results_json, TimelineConfig,
+};

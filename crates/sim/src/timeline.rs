@@ -12,12 +12,13 @@ use prlc_core::{
 };
 use prlc_gf::GfElem;
 use prlc_net::{
-    predistribute, refresh, Network, ProtocolConfig, RefreshConfig, RingNetwork, SourceFanout,
+    predistribute_with_faults, refresh_with_faults, FaultPlan, Network, ProtocolConfig,
+    RefreshConfig, RingNetwork, SourceFanout,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::runner::run_parallel;
+use crate::runner::{default_threads, run_parallel_with_threads, splitmix64};
 use crate::stats::{summarize_trajectories, Summary};
 
 /// Configuration of a persistence timeline.
@@ -39,6 +40,15 @@ pub struct TimelineConfig {
     pub epochs: usize,
     /// Donors per repaired slot; `None` disables repair.
     pub repair_donors: Option<usize>,
+    /// Fault plan for the protocol sessions themselves (lossy links,
+    /// retry budgets). Each run re-seeds a clone of this plan, and the
+    /// predistribution plus every repair pass share one fault session,
+    /// so the whole run lives on a single message-step clock.
+    pub faults: FaultPlan,
+    /// Source fanout of the predistribution phase. [`SourceFanout::All`]
+    /// reproduces the paper's protocol; sparse fanouts keep large-N
+    /// timelines affordable.
+    pub fanout: SourceFanout,
     /// Independent runs.
     pub runs: usize,
     /// Base seed.
@@ -46,27 +56,47 @@ pub struct TimelineConfig {
 }
 
 /// Mean decodable levels after each epoch (`out[0]` is before any
-/// churn; `out[e]` after epoch `e`).
+/// churn; `out[e]` after epoch `e`). Runs on the runner's default
+/// worker count; see [`simulate_persistence_timeline_with_threads`].
 pub fn simulate_persistence_timeline<F: GfElem>(cfg: &TimelineConfig) -> Vec<Summary> {
-    let trajectories = run_parallel(cfg.runs, cfg.seed, |seed| {
+    simulate_persistence_timeline_with_threads::<F>(cfg, default_threads())
+}
+
+/// [`simulate_persistence_timeline`] with an explicit worker count.
+/// Results are bit-identical across `threads` (each run is seeded by
+/// index, not by schedule).
+pub fn simulate_persistence_timeline_with_threads<F: GfElem>(
+    cfg: &TimelineConfig,
+    threads: usize,
+) -> Vec<Summary> {
+    let trajectories = run_parallel_with_threads(cfg.runs, cfg.seed, threads, |seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut out = Vec::with_capacity(cfg.epochs + 1);
 
         let mut net = RingNetwork::new(cfg.nodes, &mut rng);
         let sources: Vec<Vec<F>> = vec![Vec::new(); cfg.profile.total_blocks()];
-        let mut dep = predistribute(
+        // One fault session per run: predistribution and every repair
+        // pass advance the same message-step clock, so trace spans from
+        // successive sessions nest on one causal timeline. The plan seed
+        // is domain-separated per run so fault realisations differ
+        // across runs but stay pinned to the base seed.
+        let mut plan = cfg.faults.clone();
+        plan.seed = splitmix64(seed ^ plan.seed);
+        let mut session = plan.session(cfg.nodes);
+        let mut dep = predistribute_with_faults(
             &net,
             &ProtocolConfig {
                 scheme: cfg.scheme,
                 profile: cfg.profile.clone(),
                 distribution: cfg.distribution.clone(),
                 locations: cfg.locations,
-                fanout: SourceFanout::All,
+                fanout: cfg.fanout,
                 two_choices: true,
                 node_capacity: None,
                 shared_seed: seed,
             },
             &sources,
+            &mut session,
             &mut rng,
         )
         .expect("fresh network accepts the protocol");
@@ -86,13 +116,14 @@ pub fn simulate_persistence_timeline<F: GfElem>(cfg: &TimelineConfig) -> Vec<Sum
                 continue;
             }
             if let Some(donors) = cfg.repair_donors {
-                refresh(
+                refresh_with_faults(
                     &net,
                     &mut dep,
                     &RefreshConfig {
                         scheme: cfg.scheme,
                         donors_per_slot: donors,
                     },
+                    &mut session,
                     &mut rng,
                 );
             }
@@ -109,6 +140,22 @@ pub fn simulate_persistence_timeline<F: GfElem>(cfg: &TimelineConfig) -> Vec<Sum
         out
     });
     summarize_trajectories(&trajectories)
+}
+
+/// Renders per-epoch summaries as a JSON array (the `results` payload
+/// of a `BENCH_timeline.json` envelope).
+pub fn timeline_results_json(summaries: &[Summary]) -> String {
+    let rows: Vec<String> = summaries
+        .iter()
+        .enumerate()
+        .map(|(epoch, s)| {
+            format!(
+                "{{\"epoch\":{},\"levels_mean\":{:.6},\"levels_ci95\":{:.6}}}",
+                epoch, s.mean, s.ci95
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
 }
 
 /// Decodable levels from the blocks currently surviving in the network
@@ -159,6 +206,8 @@ mod tests {
             churn_per_epoch: 0.2,
             epochs: 4,
             repair_donors: repair,
+            faults: FaultPlan::none(),
+            fanout: SourceFanout::All,
             runs: 8,
             seed: 5,
         }

@@ -1,0 +1,207 @@
+//! The equivalence gate of the event-driven protocol runtime.
+//!
+//! The public faulty entry points (`predistribute_with_faults`,
+//! `collect_with_faults`, `refresh_with_faults`) run session state
+//! machines on the discrete-event scheduler; the original monolithic
+//! loops survive verbatim in `prlc::net::sync`. This gate runs the same
+//! pinned-seed pipeline — deploy, churn, repair, collect — down both
+//! paths and byte-diffs *everything*: reports, storage slots, the full
+//! metrics snapshot JSON, the full trace dump JSON, and the caller's
+//! RNG end state. Any divergence in operation order, RNG consumption,
+//! or observability emission shows up as a byte diff here.
+
+use prlc::net::{
+    collect_with_faults, predistribute_with_faults, refresh_with_faults, sync, ChurnEvent,
+    CollectionConfig, FaultPlan, LinkModel, Network, ProtocolConfig, RefreshConfig, RetryPolicy,
+    RingNetwork, SourceFanout,
+};
+use prlc::obs;
+use prlc::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// The obs registry and tracer are process-global; runs that reset and
+/// snapshot them must not interleave.
+static GUARD: Mutex<()> = Mutex::new(());
+
+/// Everything observable about one pipeline run, rendered to strings.
+#[derive(Debug, PartialEq, Eq)]
+struct PipelineOutput {
+    predistribute_metrics: String,
+    slots: String,
+    refresh_report: String,
+    collect_report: String,
+    decoded_levels: usize,
+    metrics_json: String,
+    trace_json: String,
+    rng_end: u64,
+}
+
+/// Runs deploy → churn → repair → collect once, on the event path or
+/// the synchronous reference path, with obs + trace recording.
+fn run_pipeline(
+    scheme: Scheme,
+    plan: &FaultPlan,
+    seed: u64,
+    nodes: usize,
+    sync_path: bool,
+) -> PipelineOutput {
+    obs::enable();
+    obs::trace::enable();
+    obs::reset();
+    obs::trace::reset();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = RingNetwork::new(nodes, &mut rng);
+    let profile = PriorityProfile::new(vec![2, 3, 5]).unwrap();
+    let sources: Vec<Vec<Gf256>> = (0..profile.total_blocks())
+        .map(|_| (0..2).map(|_| Gf256::random(&mut rng)).collect())
+        .collect();
+    let cfg = ProtocolConfig {
+        scheme,
+        profile: profile.clone(),
+        distribution: PriorityDistribution::uniform(profile.num_levels()),
+        locations: (nodes / 2).min(60),
+        fanout: SourceFanout::All,
+        two_choices: true,
+        node_capacity: None,
+        shared_seed: seed,
+    };
+    let mut session = plan.clone().session(net.node_count());
+
+    let mut dep = if sync_path {
+        sync::predistribute_with_faults(&net, &cfg, &sources, &mut session, &mut rng)
+    } else {
+        predistribute_with_faults(&net, &cfg, &sources, &mut session, &mut rng)
+    }
+    .expect("fresh network accepts the protocol");
+    let predistribute_metrics = format!("{:?}", dep.metrics());
+
+    net.fail_uniform(0.3, &mut rng);
+    assert!(net.alive_count() > 0, "seed killed the whole overlay");
+
+    let refresh_cfg = RefreshConfig {
+        scheme,
+        donors_per_slot: 3,
+    };
+    let refresh_report = if sync_path {
+        sync::refresh_with_faults(&net, &mut dep, &refresh_cfg, &mut session, &mut rng)
+    } else {
+        refresh_with_faults(&net, &mut dep, &refresh_cfg, &mut session, &mut rng)
+    };
+    let refresh_report = format!("{refresh_report:?}");
+
+    let collector = net
+        .random_alive_node(&mut rng)
+        .expect("alive_count > 0 was asserted");
+    let collect_cfg = CollectionConfig::default();
+    let (collect_report, decoded_levels) = if scheme == Scheme::Slc {
+        let mut dec: SlcDecoder<Gf256, Vec<Gf256>> = SlcDecoder::with_payloads(profile);
+        let report = if sync_path {
+            sync::collect_with_faults(
+                &net,
+                &dep,
+                &mut dec,
+                collector,
+                &collect_cfg,
+                &mut session,
+                &mut rng,
+            )
+        } else {
+            collect_with_faults(
+                &net,
+                &dep,
+                &mut dec,
+                collector,
+                &collect_cfg,
+                &mut session,
+                &mut rng,
+            )
+        };
+        (format!("{report:?}"), dec.decoded_levels())
+    } else {
+        let mut dec: PlcDecoder<Gf256, Vec<Gf256>> = PlcDecoder::with_payloads(profile);
+        let report = if sync_path {
+            sync::collect_with_faults(
+                &net,
+                &dep,
+                &mut dec,
+                collector,
+                &collect_cfg,
+                &mut session,
+                &mut rng,
+            )
+        } else {
+            collect_with_faults(
+                &net,
+                &dep,
+                &mut dec,
+                collector,
+                &collect_cfg,
+                &mut session,
+                &mut rng,
+            )
+        };
+        (format!("{report:?}"), dec.decoded_levels())
+    };
+
+    PipelineOutput {
+        predistribute_metrics,
+        slots: format!("{:?}", dep.slots()),
+        refresh_report,
+        collect_report,
+        decoded_levels,
+        metrics_json: obs::snapshot().to_json(),
+        trace_json: obs::trace::snapshot().to_json(),
+        rng_end: rng.gen(),
+    }
+}
+
+fn lossy_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        link: LinkModel {
+            loss: 0.25,
+            timeout_hops: None,
+        },
+        retry: RetryPolicy::with_retries(2, 1),
+        churn: vec![ChurnEvent {
+            after_messages: 40,
+            fraction: 0.1,
+        }],
+        seed: seed ^ 0xFA,
+    }
+}
+
+fn assert_equivalent(scheme: Scheme, plan: &FaultPlan, seed: u64, nodes: usize) {
+    let event = run_pipeline(scheme, plan, seed, nodes, false);
+    let sync = run_pipeline(scheme, plan, seed, nodes, true);
+    assert_eq!(
+        event, sync,
+        "event runtime diverged from the synchronous reference \
+         ({scheme:?}, nodes {nodes}, seed {seed})"
+    );
+}
+
+#[test]
+fn event_path_matches_sync_path_without_faults() {
+    let _guard = GUARD.lock().unwrap();
+    for scheme in [Scheme::Slc, Scheme::Plc] {
+        assert_equivalent(scheme, &FaultPlan::none(), 11, 200);
+    }
+}
+
+#[test]
+fn event_path_matches_sync_path_under_faults() {
+    let _guard = GUARD.lock().unwrap();
+    for scheme in [Scheme::Slc, Scheme::Plc] {
+        assert_equivalent(scheme, &lossy_plan(7), 12, 200);
+    }
+}
+
+#[test]
+fn event_path_matches_sync_path_at_n_1000() {
+    let _guard = GUARD.lock().unwrap();
+    assert_equivalent(Scheme::Plc, &lossy_plan(3), 13, 1000);
+    assert_equivalent(Scheme::Plc, &FaultPlan::none(), 13, 1000);
+}

@@ -153,6 +153,8 @@ fn timeline_round(seed: u64) {
         churn_per_epoch: 0.2,
         epochs: 2,
         repair_donors: Some(2),
+        faults: FaultPlan::none(),
+        fanout: SourceFanout::All,
         runs: 1,
         seed,
     });
