@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
 use prlc_gf::Gf256;
-use prlc_net::{predistribute, Network, PlaneNetwork, ProtocolConfig, RingNetwork, SourceFanout};
+use prlc_net::{
+    predistribute, CoeffRep, Network, PlaneNetwork, ProtocolConfig, RingNetwork, SourceFanout,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -51,6 +53,7 @@ fn bench_predistribute(c: &mut Criterion) {
             distribution: PriorityDistribution::uniform(5),
             locations: 200,
             fanout,
+            coeff_rep: CoeffRep::Dense,
             two_choices: true,
             node_capacity: None,
             shared_seed: 9,

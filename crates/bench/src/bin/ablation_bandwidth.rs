@@ -11,7 +11,7 @@
 use prlc_bench::RunOpts;
 use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
 use prlc_gf::Gf256;
-use prlc_net::{predistribute, ProtocolConfig, RingNetwork, SourceFanout};
+use prlc_net::{predistribute, CoeffRep, ProtocolConfig, RingNetwork, SourceFanout};
 use prlc_sim::{fmt_f, run_parallel, summarize, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -55,6 +55,7 @@ fn main() {
                     distribution: dist2.clone(),
                     locations: m,
                     fanout,
+                    coeff_rep: CoeffRep::Dense,
                     two_choices: true,
                     node_capacity: None,
                     shared_seed: s,

@@ -10,7 +10,9 @@
 use prlc_bench::RunOpts;
 use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
 use prlc_gf::Gf256;
-use prlc_net::{predistribute, Network, PlaneNetwork, ProtocolConfig, RingNetwork, SourceFanout};
+use prlc_net::{
+    predistribute, CoeffRep, Network, PlaneNetwork, ProtocolConfig, RingNetwork, SourceFanout,
+};
 use prlc_sim::{fmt_f, run_parallel, summarize, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,6 +34,7 @@ fn max_load<N: Network, B: Fn(&mut StdRng) -> N + Sync>(
             distribution: PriorityDistribution::uniform(1),
             locations: m,
             fanout: SourceFanout::Log { factor: 1.0 },
+            coeff_rep: CoeffRep::Dense,
             two_choices,
             node_capacity: None,
             shared_seed: s,

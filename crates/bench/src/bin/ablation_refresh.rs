@@ -9,7 +9,7 @@
 use prlc_bench::RunOpts;
 use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
 use prlc_gf::Gf256;
-use prlc_net::{FaultPlan, SourceFanout};
+use prlc_net::{CoeffRep, FaultPlan, SourceFanout};
 use prlc_sim::{fmt_f, simulate_persistence_timeline, Table, TimelineConfig};
 
 fn main() {
@@ -41,6 +41,7 @@ fn main() {
         repair_donors: None,
         faults: FaultPlan::none(),
         fanout: SourceFanout::All,
+        coeff_rep: CoeffRep::Dense,
         runs: opts.runs,
         seed: opts.seed.wrapping_add(99),
     };

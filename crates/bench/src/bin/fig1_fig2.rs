@@ -24,12 +24,12 @@ fn main() {
         // One coded block per level (RLC: both rows full-support).
         let rows: Vec<Vec<Gf256>> = match scheme {
             Scheme::Rlc => (0..3)
-                .map(|_| enc.encode_coefficients(0, &mut rng))
+                .map(|_| enc.encode_coefficients(0, &mut rng).to_dense_vec())
                 .collect(),
             _ => vec![
-                enc.encode_coefficients(0, &mut rng),
-                enc.encode_coefficients(1, &mut rng),
-                enc.encode_coefficients(1, &mut rng),
+                enc.encode_coefficients(0, &mut rng).to_dense_vec(),
+                enc.encode_coefficients(1, &mut rng).to_dense_vec(),
+                enc.encode_coefficients(1, &mut rng).to_dense_vec(),
             ],
         };
         let m = Matrix::from_rows(rows);

@@ -1,0 +1,127 @@
+//! Sparse coefficient rows — per-block coefficient memory vs `N`.
+//!
+//! The paper leans on Dimakis et al.: `O(ln N)` nonzero coefficients per
+//! coded block suffice, so neither the encoder nor the caches should pay
+//! `O(N)` per block. This benchmark measures what the code actually
+//! stores, at `N ∈ {10^3, 10^4, 10^5}`:
+//!
+//! * the encoder path — `Encoder::sparse(·, 2.0)` rows in both
+//!   representations (mean nonzeros and heap bytes per row), and
+//! * the protocol path — cached slot blocks after a sparse-fanout
+//!   predistribution (dense rows cost `N` bytes each regardless of how
+//!   few sources reached the slot; sparse rows cost `5 · nnz`).
+//!
+//! Dense per-row bytes grow linearly with `N`; sparse per-row bytes must
+//! track `ln N` times a constant — the committed CSV is the evidence.
+
+use prlc_bench::RunOpts;
+use prlc_core::{Encoder, PriorityDistribution, PriorityProfile, Scheme};
+use prlc_gf::Gf256;
+use prlc_linalg::CoeffRep;
+use prlc_net::{predistribute, ProtocolConfig, RingNetwork, SourceFanout};
+use prlc_sim::{fmt_f, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FACTOR: f64 = 2.0;
+
+/// Mean (nnz, storage bytes) over `rows` encoder rows at size `n`.
+fn encoder_row_cost(n: usize, rep: CoeffRep, rows: usize, seed: u64) -> (f64, f64) {
+    let profile = PriorityProfile::flat(n).expect("valid profile");
+    let enc = Encoder::sparse(Scheme::Rlc, profile, FACTOR).with_coeff_rep(rep);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nnz = 0usize;
+    let mut bytes = 0usize;
+    for _ in 0..rows {
+        let row = enc.encode_coefficients::<Gf256, _>(0, &mut rng);
+        nnz += row.nnz();
+        bytes += row.storage_bytes();
+    }
+    (nnz as f64 / rows as f64, bytes as f64 / rows as f64)
+}
+
+/// Mean (nnz, storage bytes) over the non-empty slot blocks of one
+/// sparse-fanout predistribution at size `n`.
+fn slot_row_cost(n: usize, rep: CoeffRep, seed: u64) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let profile = PriorityProfile::flat(n).expect("valid profile");
+    let nodes = (n / 2).max(50);
+    let net = RingNetwork::new(nodes, &mut rng);
+    let cfg = ProtocolConfig {
+        scheme: Scheme::Rlc,
+        profile: profile.clone(),
+        distribution: PriorityDistribution::uniform(1),
+        locations: (n / 4).max(10),
+        fanout: SourceFanout::Log { factor: FACTOR },
+        coeff_rep: rep,
+        two_choices: true,
+        node_capacity: None,
+        shared_seed: seed,
+    };
+    let sources: Vec<Vec<Gf256>> = vec![Vec::new(); n];
+    let dep = predistribute(&net, &cfg, &sources, &mut rng).expect("fresh network");
+    let mut nnz = 0usize;
+    let mut bytes = 0usize;
+    let mut count = 0usize;
+    for slot in dep.slots() {
+        if slot.block.is_empty() {
+            continue;
+        }
+        nnz += slot.block.coefficients.nnz();
+        bytes += slot.block.coefficients.storage_bytes();
+        count += 1;
+    }
+    (nnz as f64 / count as f64, bytes as f64 / count as f64)
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let sizes: &[usize] = if opts.quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+
+    let mut table = Table::new([
+        "N",
+        "path",
+        "rep",
+        "nnz/row",
+        "bytes/row",
+        "ln N",
+        "bytes / ln N",
+    ]);
+    for &n in sizes {
+        let ln_n = (n as f64).ln();
+        for (path, cost) in [
+            (
+                "encoder",
+                Box::new(|rep| encoder_row_cost(n, rep, 50, opts.seed))
+                    as Box<dyn Fn(CoeffRep) -> (f64, f64)>,
+            ),
+            ("protocol", Box::new(|rep| slot_row_cost(n, rep, opts.seed))),
+        ] {
+            for rep in [CoeffRep::Dense, CoeffRep::Sparse] {
+                eprintln!("[sparse_rows] N={n} / {path} / {rep:?} ...");
+                let (nnz, bytes) = cost(rep);
+                table.push_row([
+                    n.to_string(),
+                    path.to_string(),
+                    format!("{rep:?}").to_lowercase(),
+                    fmt_f(nnz, 1),
+                    fmt_f(bytes, 1),
+                    fmt_f(ln_n, 2),
+                    fmt_f(bytes / ln_n, 1),
+                ]);
+            }
+        }
+    }
+    opts.emit(
+        "sparse_rows",
+        &format!(
+            "Sparse rows: per-block coefficient memory, factor {FACTOR} \
+             (dense grows with N; sparse tracks ln N)"
+        ),
+        &table,
+    );
+}

@@ -12,7 +12,7 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
-use prlc_core::{CodedBlock, PriorityProfile, Scheme};
+use prlc_core::{CodedBlock, CoeffRow, PriorityProfile, Scheme};
 use prlc_gf::Gf256;
 
 const SHARD_MAGIC: &[u8; 4] = b"PRLC";
@@ -239,7 +239,9 @@ pub fn write_shard<W: Write>(mut w: W, block: &CodedBlock<Gf256>) -> Result<(), 
     put_u32(&mut body, block.level as u32);
     put_u32(&mut body, block.coefficients.len() as u32);
     put_u32(&mut body, block.payload.len() as u32);
-    body.extend(block.coefficients.iter().map(|c| c.raw()));
+    // The on-disk shard format is dense regardless of the in-memory
+    // representation, so shard bytes are representation-independent.
+    body.extend(block.coefficients.to_dense_vec().iter().map(|c| c.raw()));
     body.extend(block.payload.iter().map(|c| c.raw()));
 
     w.write_all(SHARD_MAGIC)?;
@@ -272,7 +274,8 @@ pub fn read_shard<R: Read>(mut r: R) -> Result<CodedBlock<Gf256>, FormatError> {
     let level = b.u32()? as usize;
     let n_coeffs = b.u32()? as usize;
     let n_payload = b.u32()? as usize;
-    let coefficients = b.take(n_coeffs)?.iter().map(|&v| Gf256::new(v)).collect();
+    let coefficients =
+        CoeffRow::from_dense(b.take(n_coeffs)?.iter().map(|&v| Gf256::new(v)).collect());
     let payload = b.take(n_payload)?.iter().map(|&v| Gf256::new(v)).collect();
     if !b.done() {
         return Err(FormatError::Invalid("trailing shard bytes".into()));
@@ -313,7 +316,9 @@ mod tests {
     fn shard_roundtrip() {
         let block = CodedBlock {
             level: 2,
-            coefficients: (0..50).map(|i| Gf256::new((i * 5) as u8)).collect(),
+            coefficients: CoeffRow::from_dense(
+                (0..50).map(|i| Gf256::new((i * 5) as u8)).collect(),
+            ),
             payload: (0..1024).map(|i| Gf256::new((i % 251) as u8)).collect(),
         };
         let mut buf = Vec::new();
@@ -337,7 +342,7 @@ mod tests {
 
         let block = CodedBlock {
             level: 0,
-            coefficients: vec![Gf256::new(1); 4],
+            coefficients: CoeffRow::from_dense(vec![Gf256::new(1); 4]),
             payload: vec![Gf256::new(2); 4],
         };
         let mut sbuf = Vec::new();
@@ -421,7 +426,7 @@ mod proptests {
         ) {
             let block = CodedBlock {
                 level,
-                coefficients: coeffs.iter().map(|&v| Gf256::new(v)).collect(),
+                coefficients: CoeffRow::from_dense(coeffs.iter().map(|&v| Gf256::new(v)).collect()),
                 payload: payload.iter().map(|&v| Gf256::new(v)).collect(),
             };
             let mut buf = Vec::new();
@@ -439,7 +444,7 @@ mod proptests {
             // BadVersion / Invalid — never a silent wrong block).
             let block = CodedBlock {
                 level: 1,
-                coefficients: vec![Gf256::new(7); 5],
+                coefficients: CoeffRow::from_dense(vec![Gf256::new(7); 5]),
                 payload: payload.iter().map(|&v| Gf256::new(v)).collect(),
             };
             let mut buf = Vec::new();

@@ -6,7 +6,7 @@ use std::process::ExitCode;
 use prlc_cli::{decode, encode, info, DecodeOptions, EncodeOptions};
 use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
 use prlc_gf::{kernel, Gf256};
-use prlc_net::{FaultPlan, RetryPolicy, SourceFanout};
+use prlc_net::{CoeffRep, FaultPlan, RetryPolicy, SourceFanout};
 use prlc_sim::{
     fmt_f, persistence_under_lossy_collection_with_threads, runner,
     simulate_decoding_curve_with_threads, simulate_persistence_timeline_with_threads,
@@ -27,6 +27,7 @@ USAGE:
            [--loss p1,p2,...] [--retries r1,r2,...]
            [--nodes N] [--locations M]
            [--epochs E] [--churn p] [--repair D]
+           [--fanout all|log:F] [--coeff dense|sparse]
            [--bench-out FILE] [--metrics FILE|-]
            [--trace FILE|-] [--trace-format json|chrome]
   prlc trace [--scheme rlc|slc|plc] [--levels a,b,c] [--max-blocks M]
@@ -60,7 +61,12 @@ then E churn epochs each killing an alive node with probability
 --repair donor blocks per lost slot. Here --loss and --retries take
 single values and fault-inject the protocol sessions themselves. The
 lazy per-node state of the runtime makes N=10^5 overlays (--nodes
-100000) run in seconds.
+100000) run in seconds. --fanout log:F routes each source block to
+ceil(F·ln N) of its eligible locations instead of all of them, and
+--coeff sparse stores cached coefficient rows as sorted (index, value)
+pairs instead of dense length-N vectors — together they bound both the
+bandwidth and the per-block memory at O(ln N). Results are identical
+between --coeff dense and --coeff sparse for the same seed.
 
 --metrics enables the prlc-obs recorder and dumps the full metrics
 snapshot (counters, histograms, events, timers) as one JSON object to
@@ -701,6 +707,24 @@ fn cmd_sim_timeline(
         None => 0,
     };
     let (nodes, locations) = overlay_geometry(args, &profile)?;
+    let fanout = match flag_value(args, "--fanout")?.as_deref() {
+        None | Some("all") => SourceFanout::All,
+        Some(v) => match v.strip_prefix("log:") {
+            Some(f) => {
+                let factor: f64 = f.parse().map_err(|_| "bad --fanout factor")?;
+                if !factor.is_finite() || factor <= 0.0 {
+                    return Err("--fanout log factor must be finite and > 0".into());
+                }
+                SourceFanout::Log { factor }
+            }
+            None => return Err(format!("bad --fanout {v:?} (want all or log:F)")),
+        },
+    };
+    let coeff_rep = match flag_value(args, "--coeff")?.as_deref() {
+        None | Some("dense") => CoeffRep::Dense,
+        Some("sparse") => CoeffRep::Sparse,
+        Some(v) => return Err(format!("bad --coeff {v:?} (want dense or sparse)")),
+    };
     let faults = if loss > 0.0 {
         FaultPlan::lossy(loss, RetryPolicy::with_retries(retries, 1), seed)
     } else {
@@ -724,7 +748,8 @@ fn cmd_sim_timeline(
         epochs,
         repair_donors,
         faults,
-        fanout: SourceFanout::All,
+        fanout,
+        coeff_rep,
         runs,
         seed,
     };

@@ -1,21 +1,24 @@
 //! Coded blocks: coefficients plus payload.
 
 use prlc_gf::GfElem;
+use prlc_linalg::{CoeffRep, CoeffRow};
 
 /// A coded block: the coding coefficients over all `N` source blocks
 /// plus the encoded payload.
 ///
-/// The coefficient vector is dense (length `N`); entries outside the
-/// scheme's support for `level` are zero. The payload is the
-/// corresponding linear combination of the source payloads and may be
-/// empty when an experiment tracks decodability only.
+/// The coefficient row is a [`CoeffRow`] over all `N` source blocks —
+/// stored densely or sparsely (sorted `(index, value)` pairs), chosen
+/// at construction; entries outside the scheme's support for `level`
+/// are zero either way. The payload is the corresponding linear
+/// combination of the source payloads and may be empty when an
+/// experiment tracks decodability only.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct CodedBlock<F> {
+pub struct CodedBlock<F: GfElem> {
     /// The priority level this block was generated at (0 = most
     /// important).
     pub level: usize,
-    /// Dense coding coefficients `β_{i,1} … β_{i,N}`.
-    pub coefficients: Vec<F>,
+    /// Coding coefficients `β_{i,1} … β_{i,N}` (logical length `N`).
+    pub coefficients: CoeffRow<F>,
     /// The encoded data `c_i = Σ_j β_{i,j} x_j` (may be empty).
     pub payload: Vec<F>,
 }
@@ -23,15 +26,12 @@ pub struct CodedBlock<F> {
 impl<F: GfElem> CodedBlock<F> {
     /// Number of nonzero coding coefficients (the block's degree).
     pub fn degree(&self) -> usize {
-        self.coefficients.iter().filter(|c| !c.is_zero()).count()
+        self.coefficients.nnz()
     }
 
     /// Indices of the source blocks this block combines.
     pub fn support(&self) -> impl Iterator<Item = usize> + '_ {
-        self.coefficients
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| (!c.is_zero()).then_some(i))
+        self.coefficients.iter_nonzeros().map(|(i, _)| i)
     }
 
     /// Folds another source block into this coded block in place:
@@ -48,7 +48,7 @@ impl<F: GfElem> CodedBlock<F> {
             source_idx < self.coefficients.len(),
             "source index {source_idx} out of range"
         );
-        self.coefficients[source_idx] = self.coefficients[source_idx].gf_add(beta);
+        self.coefficients.add_assign_at(source_idx, beta);
         if self.payload.is_empty() && !data.is_empty() {
             self.payload = vec![F::ZERO; data.len()];
         }
@@ -74,7 +74,7 @@ impl<F: GfElem> CodedBlock<F> {
             other.coefficients.len(),
             "combine: coefficient width mismatch"
         );
-        F::axpy(&mut self.coefficients, beta, &other.coefficients);
+        self.coefficients.axpy_full(beta, &other.coefficients);
         if other.payload.is_empty() {
             return;
         }
@@ -84,19 +84,25 @@ impl<F: GfElem> CodedBlock<F> {
         F::axpy(&mut self.payload, beta, &other.payload);
     }
 
-    /// An all-zero coded block over `n` source blocks at `level`, ready
-    /// for incremental [`accumulate`](Self::accumulate) encoding.
+    /// An all-zero coded block over `n` source blocks at `level`, stored
+    /// densely, ready for incremental [`accumulate`](Self::accumulate)
+    /// encoding.
     pub fn empty(level: usize, n: usize) -> Self {
+        Self::empty_with(level, n, CoeffRep::Dense)
+    }
+
+    /// An all-zero coded block in the given coefficient representation.
+    pub fn empty_with(level: usize, n: usize, rep: CoeffRep) -> Self {
         CodedBlock {
             level,
-            coefficients: vec![F::ZERO; n],
+            coefficients: CoeffRow::zero(n, rep),
             payload: Vec::new(),
         }
     }
 
     /// Whether no source block has been folded in yet.
     pub fn is_empty(&self) -> bool {
-        self.coefficients.iter().all(|c| c.is_zero())
+        self.coefficients.is_zero_row()
     }
 }
 
@@ -111,29 +117,33 @@ mod tests {
 
     #[test]
     fn empty_block_accumulates() {
-        let mut b: CodedBlock<Gf256> = CodedBlock::empty(1, 4);
-        assert!(b.is_empty());
-        assert_eq!(b.degree(), 0);
+        for rep in [CoeffRep::Dense, CoeffRep::Sparse] {
+            let mut b: CodedBlock<Gf256> = CodedBlock::empty_with(1, 4, rep);
+            assert!(b.is_empty());
+            assert_eq!(b.degree(), 0);
 
-        b.accumulate(2, g(5), &[g(10), g(20)]);
-        assert!(!b.is_empty());
-        assert_eq!(b.degree(), 1);
-        assert_eq!(b.support().collect::<Vec<_>>(), vec![2]);
-        assert_eq!(b.payload, vec![g(5) * g(10), g(5) * g(20)]);
+            b.accumulate(2, g(5), &[g(10), g(20)]);
+            assert!(!b.is_empty());
+            assert_eq!(b.degree(), 1);
+            assert_eq!(b.support().collect::<Vec<_>>(), vec![2]);
+            assert_eq!(b.payload, vec![g(5) * g(10), g(5) * g(20)]);
 
-        b.accumulate(0, g(3), &[g(1), g(2)]);
-        assert_eq!(b.degree(), 2);
-        assert_eq!(b.payload[0], g(5) * g(10) + g(3) * g(1));
+            b.accumulate(0, g(3), &[g(1), g(2)]);
+            assert_eq!(b.degree(), 2);
+            assert_eq!(b.payload[0], g(5) * g(10) + g(3) * g(1));
+        }
     }
 
     #[test]
     fn accumulate_same_index_adds_coefficients() {
-        let mut b: CodedBlock<Gf256> = CodedBlock::empty(0, 2);
-        b.accumulate(0, g(5), &[g(1)]);
-        b.accumulate(0, g(5), &[g(1)]);
-        // In GF(2^8), beta + beta = 0: the contributions cancel.
-        assert_eq!(b.coefficients[0], Gf256::ZERO);
-        assert_eq!(b.payload[0], Gf256::ZERO);
+        for rep in [CoeffRep::Dense, CoeffRep::Sparse] {
+            let mut b: CodedBlock<Gf256> = CodedBlock::empty_with(0, 2, rep);
+            b.accumulate(0, g(5), &[g(1)]);
+            b.accumulate(0, g(5), &[g(1)]);
+            // In GF(2^8), beta + beta = 0: the contributions cancel.
+            assert_eq!(b.coefficients.get(0), Gf256::ZERO);
+            assert_eq!(b.payload[0], Gf256::ZERO);
+        }
     }
 
     #[test]
@@ -152,8 +162,8 @@ mod tests {
         let sources: Vec<Vec<Gf256>> = (0..3)
             .map(|_| (0..2).map(|_| Gf256::random(&mut rng)).collect())
             .collect();
-        let mk = |coeffs: &[usize]| -> CodedBlock<Gf256> {
-            let mut b = CodedBlock::empty(0, 3);
+        let mk = |coeffs: &[usize], rep: CoeffRep| -> CodedBlock<Gf256> {
+            let mut b = CodedBlock::empty_with(0, 3, rep);
             for (i, &c) in coeffs.iter().enumerate() {
                 if c != 0 {
                     b.accumulate(i, g(c), &sources[i]);
@@ -161,21 +171,40 @@ mod tests {
             }
             b
         };
-        let a = mk(&[1, 2, 0]);
-        let b = mk(&[0, 3, 4]);
-        let mut combined = a.clone();
-        combined.combine(&b, g(7));
-        // Coefficients and payload must agree with re-encoding from the
-        // combined coefficient vector.
-        let mut want = vec![Gf256::ZERO; 2];
-        for (c, s) in combined.coefficients.iter().zip(&sources) {
-            Gf256::axpy(&mut want, *c, s);
+        for rep in [CoeffRep::Dense, CoeffRep::Sparse] {
+            let a = mk(&[1, 2, 0], rep);
+            let b = mk(&[0, 3, 4], rep);
+            let mut combined = a.clone();
+            combined.combine(&b, g(7));
+            // Coefficients and payload must agree with re-encoding from
+            // the combined coefficient vector.
+            let mut want = vec![Gf256::ZERO; 2];
+            for (c, s) in combined.coefficients.to_dense_vec().iter().zip(&sources) {
+                Gf256::axpy(&mut want, *c, s);
+            }
+            assert_eq!(combined.payload, want);
+            assert_eq!(
+                combined.coefficients.get(1),
+                a.coefficients.get(1) + g(7) * b.coefficients.get(1)
+            );
         }
-        assert_eq!(combined.payload, want);
-        assert_eq!(
-            combined.coefficients[1],
-            a.coefficients[1] + g(7) * b.coefficients[1]
-        );
+    }
+
+    #[test]
+    fn combine_mixes_representations() {
+        let mut dense: CodedBlock<Gf256> = CodedBlock::empty_with(0, 4, CoeffRep::Dense);
+        dense.accumulate(1, g(2), &[]);
+        let mut sparse: CodedBlock<Gf256> = CodedBlock::empty_with(0, 4, CoeffRep::Sparse);
+        sparse.accumulate(3, g(5), &[]);
+        let mut a = dense.clone();
+        a.combine(&sparse, g(7));
+        let mut b = sparse.clone();
+        b.combine(&dense, g(7));
+        assert_eq!(a.coefficients.get(3), g(7) * g(5));
+        assert_eq!(b.coefficients.get(1), g(7) * g(2));
+        // Logical equality holds regardless of which side was sparse.
+        assert_eq!(a.coefficients.get(1), g(2));
+        assert_eq!(b.coefficients.get(3), g(5));
     }
 
     #[test]
@@ -200,5 +229,17 @@ mod tests {
         b.accumulate(1, g(9), &[]);
         assert!(b.payload.is_empty());
         assert_eq!(b.degree(), 1);
+    }
+
+    #[test]
+    fn dense_and_sparse_blocks_compare_equal() {
+        let mut d: CodedBlock<Gf256> = CodedBlock::empty_with(2, 5, CoeffRep::Dense);
+        let mut s: CodedBlock<Gf256> = CodedBlock::empty_with(2, 5, CoeffRep::Sparse);
+        for b in [&mut d, &mut s] {
+            b.accumulate(1, g(9), &[g(4)]);
+            b.accumulate(4, g(3), &[g(8)]);
+        }
+        assert_eq!(d, s);
+        assert_eq!(format!("{d:?}"), format!("{s:?}"));
     }
 }

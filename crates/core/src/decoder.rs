@@ -14,7 +14,7 @@
 //! decoding-curve experiments, where payload work would double the cost).
 
 use prlc_gf::GfElem;
-use prlc_linalg::{InsertOutcome, ProgressiveRref, RowPayload};
+use prlc_linalg::{CoeffRow, InsertOutcome, ProgressiveRref, RowPayload};
 
 use crate::block::CodedBlock;
 use crate::priority::PriorityProfile;
@@ -121,20 +121,31 @@ impl<F: GfElem, P: BlockPayload<F>> PlcDecoder<F, P> {
         self.rref.decoded_prefix()
     }
 
-    /// Low-level insertion from raw parts (used by the network protocol,
-    /// which assembles coefficient vectors incrementally).
+    /// Low-level insertion from a dense coefficient vector (used by
+    /// callers that assemble coefficients incrementally).
     ///
     /// # Panics
     ///
     /// Panics if `coefficients.len() != N`.
     pub fn insert_parts(&mut self, coefficients: Vec<F>, payload: P) -> InsertOutcome {
+        self.insert_row(CoeffRow::from_dense(coefficients), payload)
+    }
+
+    /// Low-level insertion from a [`CoeffRow`] in either representation
+    /// — sparse rows flow through the elimination without ever being
+    /// densified (until fill-in crosses the row's densify threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficients.len() != N`.
+    pub fn insert_row(&mut self, coefficients: CoeffRow<F>, payload: P) -> InsertOutcome {
         let obs = prlc_obs::enabled();
         let tracing = prlc_obs::trace::enabled();
         if !obs && !tracing {
-            return self.rref.insert(coefficients, payload);
+            return self.rref.insert_row(coefficients, payload);
         }
         let before = self.profile.levels_in_prefix(self.rref.decoded_prefix());
-        let outcome = self.rref.insert(coefficients, payload);
+        let outcome = self.rref.insert_row(coefficients, payload);
         let after = self.profile.levels_in_prefix(self.rref.decoded_prefix());
         if obs {
             prlc_obs::counter!("core.decode.blocks").incr();
@@ -167,7 +178,7 @@ impl<F: GfElem, P: BlockPayload<F>> PlcDecoder<F, P> {
 
 impl<F: GfElem, P: BlockPayload<F>> PriorityDecoder<F> for PlcDecoder<F, P> {
     fn insert_block(&mut self, block: &CodedBlock<F>) -> InsertOutcome {
-        self.insert_parts(block.coefficients.clone(), P::from_block(block))
+        self.insert_row(block.coefficients.clone(), P::from_block(block))
     }
 
     fn decoded_levels(&self) -> usize {
@@ -273,14 +284,31 @@ impl<F: GfElem, P: BlockPayload<F>> SlcDecoder<F, P> {
         self.levels.iter().map(|l| l.is_complete()).collect()
     }
 
-    /// Low-level insertion from raw parts: the dense coefficient vector
-    /// is projected onto the block's level range.
+    /// Low-level insertion from a dense coefficient slice: the vector is
+    /// projected onto the block's level range.
     ///
     /// # Panics
     ///
     /// Panics if `level` is out of range, if `coefficients.len() != N`,
     /// or (debug only) if coefficients stray outside the level's support.
     pub fn insert_parts(&mut self, level: usize, coefficients: &[F], payload: P) -> InsertOutcome {
+        self.insert_row(level, CoeffRow::from_dense(coefficients.to_vec()), payload)
+    }
+
+    /// Low-level insertion from a [`CoeffRow`] in either representation;
+    /// the row is projected onto the block's level range, preserving its
+    /// representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range, if `coefficients.len() != N`,
+    /// or (debug only) if coefficients stray outside the level's support.
+    pub fn insert_row(
+        &mut self,
+        level: usize,
+        coefficients: CoeffRow<F>,
+        payload: P,
+    ) -> InsertOutcome {
         assert_eq!(
             coefficients.len(),
             self.profile.total_blocks(),
@@ -289,17 +317,19 @@ impl<F: GfElem, P: BlockPayload<F>> SlcDecoder<F, P> {
         self.processed += 1;
         let range = self.profile.blocks_of(level);
         debug_assert!(
-            coefficients[..range.start].iter().all(|c| c.is_zero())
-                && coefficients[range.end..].iter().all(|c| c.is_zero()),
+            coefficients
+                .iter_nonzeros()
+                .all(|(i, _)| range.contains(&i)),
             "SLC block has coefficients outside its level support"
         );
+        let projected = coefficients.project(range);
         let obs = prlc_obs::enabled();
         let tracing = prlc_obs::trace::enabled();
         if !obs && !tracing {
-            return self.levels[level].insert(coefficients[range].to_vec(), payload);
+            return self.levels[level].insert_row(projected, payload);
         }
         let was_complete = self.levels[level].is_complete();
-        let outcome = self.levels[level].insert(coefficients[range].to_vec(), payload);
+        let outcome = self.levels[level].insert_row(projected, payload);
         let completed = !was_complete && self.levels[level].is_complete();
         if obs {
             prlc_obs::counter!("core.decode.blocks").incr();
@@ -333,7 +363,11 @@ impl<F: GfElem, P: BlockPayload<F>> SlcDecoder<F, P> {
 
 impl<F: GfElem, P: BlockPayload<F>> PriorityDecoder<F> for SlcDecoder<F, P> {
     fn insert_block(&mut self, block: &CodedBlock<F>) -> InsertOutcome {
-        self.insert_parts(block.level, &block.coefficients, P::from_block(block))
+        self.insert_row(
+            block.level,
+            block.coefficients.clone(),
+            P::from_block(block),
+        )
     }
 
     fn decoded_levels(&self) -> usize {

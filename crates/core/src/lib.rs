@@ -83,9 +83,10 @@ pub use scheme::Scheme;
 pub use seeded::{CompactBlock, SeededEncoder};
 pub use utility::{UtilityError, UtilityFunction};
 
-// Re-exported so downstream code can match on insertion outcomes without
-// depending on prlc-linalg directly.
-pub use prlc_linalg::InsertOutcome;
+// Re-exported so downstream code can match on insertion outcomes and
+// choose coefficient representations without depending on prlc-linalg
+// directly.
+pub use prlc_linalg::{CoeffRep, CoeffRow, InsertOutcome};
 
 #[cfg(test)]
 mod proptests;

@@ -138,7 +138,7 @@ proptest! {
         prop_assert_eq!(&a, &b, "expansion must be deterministic");
         // The expanded coefficients reproduce the payload.
         let mut want = vec![Gf16::ZERO; 1];
-        for (c, s) in a.coefficients.iter().zip(&sources) {
+        for (c, s) in a.coefficients.to_dense_vec().iter().zip(&sources) {
             Gf16::axpy(&mut want, *c, s);
         }
         prop_assert_eq!(want, a.payload);

@@ -146,7 +146,7 @@ mod tests {
         let full = enc.expand(&compact);
         // The expanded coefficients must regenerate the same payload.
         let mut want = vec![Gf256::ZERO; 4];
-        for (c, s) in full.coefficients.iter().zip(&srcs) {
+        for (c, s) in full.coefficients.to_dense_vec().iter().zip(&srcs) {
             Gf256::axpy(&mut want, *c, s);
         }
         assert_eq!(full.payload, want);

@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coeffrow;
 pub mod elim;
 pub mod matrix;
 pub mod payload;
 pub mod progressive;
 
+pub use coeffrow::{CoeffRep, CoeffRow};
 pub use elim::{invert, rank, rref, solve, RrefResult, SolveOutcome};
 pub use matrix::Matrix;
 pub use payload::RowPayload;

@@ -20,18 +20,21 @@
 //! `width = 1000` for thousands of insertions per run, so the hot paths
 //! are engineered:
 //!
-//! * every row tracks its *support* (exclusive upper bound of its nonzero
-//!   region — for PLC a level-`k` row has support `b_k`), and all row
-//!   operations touch only `pivot..support`;
+//! * rows are stored as [`CoeffRow`]s: dense rows track their *support*
+//!   (exclusive upper bound of the nonzero region — for PLC a level-`k`
+//!   row has support `b_k`) and all row operations touch only
+//!   `pivot..support`, while sparse rows store only their `(index,
+//!   value)` pairs so elimination costs `O(nnz)` per colliding pivot;
 //! * the nonzero count per row is maintained incrementally so decoded
 //!   queries are O(1);
-//! * bulk operations route through the dispatched
+//! * dense bulk operations route through the dispatched
 //!   [`kernel`](prlc_gf::kernel) (product table or SIMD nibble-shuffle
 //!   for GF(2⁸), selected once at startup), and payloads are mirrored
 //!   through the same kernel calls over their contiguous symbol planes.
 
-use prlc_gf::{kernel, GfElem};
+use prlc_gf::GfElem;
 
+use crate::coeffrow::CoeffRow;
 use crate::matrix::Matrix;
 use crate::payload::RowPayload;
 
@@ -55,16 +58,26 @@ impl InsertOutcome {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 struct Row<F, P> {
-    coeffs: Vec<F>,
+    coeffs: CoeffRow<F>,
     payload: P,
     pivot: usize,
-    /// Exclusive upper bound of the nonzero region (`coeffs[support..]`
-    /// are all zero).
-    support: usize,
     /// Number of nonzero coefficients, maintained incrementally.
     nonzeros: usize,
+}
+
+// Hand-written (not derived) because `CoeffRow`'s logical `Debug`
+// requires `F: GfElem`, a bound derive cannot infer.
+impl<F: GfElem, P: std::fmt::Debug> std::fmt::Debug for Row<F, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Row")
+            .field("coeffs", &self.coeffs)
+            .field("payload", &self.payload)
+            .field("pivot", &self.pivot)
+            .field("nonzeros", &self.nonzeros)
+            .finish()
+    }
 }
 
 /// An incremental Gauss–Jordan elimination machine over `width` unknowns.
@@ -72,7 +85,7 @@ struct Row<F, P> {
 /// `P` is the payload mirrored through every row operation: use
 /// `Vec<F>` to decode real data blocks, or `()` to track decodability
 /// only. See [`RowPayload`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ProgressiveRref<F, P = ()> {
     width: usize,
     rows: Vec<Row<F, P>>,
@@ -88,6 +101,22 @@ pub struct ProgressiveRref<F, P = ()> {
     /// Columns whose unknown became determined during the most recent
     /// [`insert`](Self::insert), ascending. Cleared on every insert.
     last_solved: Vec<usize>,
+}
+
+// Hand-written for the same `F: GfElem` bound reason as `Row`.
+impl<F: GfElem, P: std::fmt::Debug> std::fmt::Debug for ProgressiveRref<F, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressiveRref")
+            .field("width", &self.width)
+            .field("rows", &self.rows)
+            .field("pivot_of_col", &self.pivot_of_col)
+            .field("solved", &self.solved)
+            .field("solved_count", &self.solved_count)
+            .field("prefix", &self.prefix)
+            .field("inserted", &self.inserted)
+            .field("last_solved", &self.last_solved)
+            .finish()
+    }
 }
 
 impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
@@ -184,12 +213,35 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
     /// # Panics
     ///
     /// Panics if `coeffs.len() != width`.
-    pub fn insert(&mut self, mut coeffs: Vec<F>, mut payload: P) -> InsertOutcome {
+    pub fn insert(&mut self, coeffs: Vec<F>, payload: P) -> InsertOutcome {
+        self.insert_row(CoeffRow::from_dense(coeffs), payload)
+    }
+
+    /// Inserts one coded block given as a [`CoeffRow`] in either
+    /// representation — the sparse-aware form of [`insert`](Self::insert).
+    ///
+    /// The elimination touches only stored nonzeros: pivot lookup walks
+    /// [`CoeffRow::first_nonzero_at_or_after`] and row updates go through
+    /// [`CoeffRow::axpy_from`], so a sparse row with `d` nonzeros costs
+    /// `O(d)` per colliding pivot instead of `O(width)`. Dense rows take
+    /// byte-for-byte the same kernel calls as before `CoeffRow` existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != width`.
+    pub fn insert_row(&mut self, mut coeffs: CoeffRow<F>, mut payload: P) -> InsertOutcome {
         assert_eq!(coeffs.len(), self.width, "coefficient width mismatch");
         self.inserted += 1;
         self.last_solved.clear();
 
-        let mut support = trailing_support(&coeffs);
+        // Tighten a dense row's support before eliminating, so kernel
+        // call ranges match the historical dense implementation exactly.
+        coeffs.normalize_support();
+
+        // Fill-in accounting: nonzeros the forward pass *adds* to this
+        // row before it is stored. Logical, so identical across
+        // representations; only computed when observability is on.
+        let original_nnz = if prlc_obs::enabled() { coeffs.nnz() } else { 0 };
 
         // Forward reduction: eliminate every coefficient that collides
         // with an existing pivot, across the *whole* support — entries in
@@ -199,28 +251,22 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
         // so subtracting it never disturbs columns already passed.
         let mut col = 0usize;
         let mut pivot_col = None;
-        while col < support {
-            if coeffs[col].is_zero() {
-                col += 1;
-                continue;
-            }
-            match self.pivot_of_col[col] {
+        while let Some(c) = coeffs.first_nonzero_at_or_after(col) {
+            match self.pivot_of_col[c] {
                 Some(r) => {
                     let prow = &self.rows[r];
-                    let factor = coeffs[col];
-                    let end = support.max(prow.support);
-                    kernel::axpy(&mut coeffs[col..end], factor, &prow.coeffs[col..end]);
+                    let factor = coeffs.get(c);
+                    coeffs.axpy_from(c, factor, &prow.coeffs);
                     payload.payload_axpy(&prow.payload, factor);
-                    support = end;
-                    debug_assert!(coeffs[col].is_zero());
+                    debug_assert!(coeffs.get(c).is_zero());
                 }
                 None => {
                     if pivot_col.is_none() {
-                        pivot_col = Some(col);
+                        pivot_col = Some(c);
                     }
                 }
             }
-            col += 1;
+            col = c + 1;
         }
 
         let Some(pc) = pivot_col else {
@@ -241,25 +287,22 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
         };
 
         // Normalise the pivot to 1.
-        let inv = coeffs[pc].gf_inv().expect("pivot entry is nonzero");
-        kernel::scale_slice(&mut coeffs[pc..support], inv);
+        let inv = coeffs.get(pc).gf_inv().expect("pivot entry is nonzero");
+        coeffs.scale_from(pc, inv);
         payload.payload_scale(inv);
 
         // Back-eliminate column `pc` from every existing row that has a
         // nonzero entry there, restoring the RREF invariant.
         let new_idx = self.rows.len();
-        for (ri, row) in self.rows.iter_mut().enumerate() {
-            let factor = row.coeffs[pc];
+        for row in self.rows.iter_mut() {
+            let factor = row.coeffs.get(pc);
             if factor.is_zero() {
                 continue;
             }
-            let end = support.max(row.support);
-            let region = &mut row.coeffs[pc..end];
-            let before = count_nonzeros(region);
-            kernel::axpy(region, factor, &coeffs[pc..end]);
-            let after = count_nonzeros(region);
+            let before = row.coeffs.count_nonzeros_from(pc);
+            row.coeffs.axpy_from(pc, factor, &coeffs);
+            let after = row.coeffs.count_nonzeros_from(pc);
             row.payload.payload_axpy(&payload, factor);
-            row.support = end;
             row.nonzeros = row.nonzeros - before + after;
             debug_assert!(row.nonzeros >= 1);
             if row.nonzeros == 1 && !self.solved[row.pivot] {
@@ -267,10 +310,9 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
                 self.solved_count += 1;
                 self.last_solved.push(row.pivot);
             }
-            debug_assert_ne!(ri, new_idx);
         }
 
-        let nonzeros = count_nonzeros(&coeffs[pc..support]);
+        let nonzeros = coeffs.count_nonzeros_from(pc);
         debug_assert!(nonzeros >= 1);
         if nonzeros == 1 {
             self.solved[pc] = true;
@@ -282,7 +324,6 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
             coeffs,
             payload,
             pivot: pc,
-            support,
             nonzeros,
         });
 
@@ -310,6 +351,12 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
             // Rank-vs-rows-consumed trajectory: each innovation records
             // how many rows had been consumed to reach the new rank.
             prlc_obs::histogram!("linalg.rref.rows_per_pivot").observe(self.inserted as u64);
+            // Fill-in of the stored row: nonzeros gained between arrival
+            // and storage (forward elimination can only add structure to
+            // a sparse row). Defined over logical nonzero counts, so the
+            // observed values are representation-independent.
+            prlc_obs::histogram!("linalg.rref.fill_in")
+                .observe(nonzeros.saturating_sub(original_nnz) as u64);
         }
 
         InsertOutcome::Innovative { pivot: pc }
@@ -327,7 +374,10 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
         let mut order: Vec<usize> = (0..self.rows.len()).collect();
         order.sort_by_key(|&i| self.rows[i].pivot);
         Some(Matrix::from_rows(
-            order.iter().map(|&i| self.rows[i].coeffs.clone()).collect(),
+            order
+                .iter()
+                .map(|&i| self.rows[i].coeffs.to_dense_vec())
+                .collect(),
         ))
     }
 
@@ -338,15 +388,6 @@ impl<F: GfElem, P: RowPayload<F>> ProgressiveRref<F, P> {
             .enumerate()
             .filter_map(|(i, &s)| s.then_some(i))
     }
-}
-
-/// Exclusive upper bound of the nonzero region of `v`.
-fn trailing_support<F: GfElem>(v: &[F]) -> usize {
-    v.iter().rposition(|x| !x.is_zero()).map_or(0, |p| p + 1)
-}
-
-fn count_nonzeros<F: GfElem>(v: &[F]) -> usize {
-    v.iter().filter(|x| !x.is_zero()).count()
 }
 
 #[cfg(test)]
@@ -574,6 +615,51 @@ mod tests {
         // A redundant row solves nothing and clears the ledger.
         assert_eq!(d.insert(rowv(&[3, 7, 0]), ()), InsertOutcome::Redundant);
         assert!(d.newly_solved().is_empty());
+    }
+
+    #[test]
+    fn sparse_rows_match_dense_rows_exactly() {
+        use crate::coeffrow::CoeffRow;
+        let mut rng = StdRng::seed_from_u64(27);
+        for _ in 0..20 {
+            let width = rng.gen_range(1..20);
+            let nrows = rng.gen_range(0..25);
+            let rows: Vec<Vec<Gf256>> = (0..nrows)
+                .map(|_| {
+                    (0..width)
+                        .map(|_| {
+                            if rng.gen_bool(0.6) {
+                                Gf256::ZERO
+                            } else {
+                                Gf256::random(&mut rng)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut dd: ProgressiveRref<Gf256> = ProgressiveRref::new(width);
+            let mut ds: ProgressiveRref<Gf256> = ProgressiveRref::new(width);
+            for r in &rows {
+                let entries = r
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !c.is_zero())
+                    .map(|(i, &c)| (i as u32, c))
+                    .collect();
+                let sparse = CoeffRow::from_sorted_entries(width, entries);
+                let a = dd.insert(r.clone(), ());
+                let b = ds.insert_row(sparse, ());
+                assert_eq!(a, b);
+                assert_eq!(dd.newly_solved(), ds.newly_solved());
+                assert_eq!(dd.decoded_prefix(), ds.decoded_prefix());
+                assert_eq!(dd.decoded_count(), ds.decoded_count());
+            }
+            assert_eq!(dd.rank(), ds.rank());
+            assert_eq!(
+                dd.coefficient_matrix().map(|m| m.is_rref()),
+                ds.coefficient_matrix().map(|m| m.is_rref())
+            );
+        }
     }
 
     #[test]

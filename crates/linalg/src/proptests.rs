@@ -5,6 +5,7 @@ use proptest::prelude::*;
 
 use prlc_gf::{Gf16, Gf256, GfElem};
 
+use crate::coeffrow::CoeffRow;
 use crate::elim;
 use crate::matrix::Matrix;
 use crate::progressive::ProgressiveRref;
@@ -166,5 +167,34 @@ proptest! {
                 prop_assert!(false, "consistent system reported inconsistent");
             }
         }
+    }
+
+    /// Feeding the same rows as dense vectors and as sparse entry lists
+    /// must drive the progressive RREF through identical states: same
+    /// insert outcomes (pivot columns), same `newly_solved` order, same
+    /// decoded prefix after every insert — across random widths and
+    /// zero-biased (level-structured) row mixes.
+    #[test]
+    fn dense_and_sparse_rows_agree_through_progressive_rref(
+        rows in rows_strategy(9, 14)
+    ) {
+        let width = 9;
+        let mut dense: ProgressiveRref<Gf256> = ProgressiveRref::new(width);
+        let mut sparse: ProgressiveRref<Gf256> = ProgressiveRref::new(width);
+        for r in &rows {
+            let d_out = dense.insert(r.clone(), ());
+            let entries: Vec<(u32, Gf256)> = r
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_zero())
+                .map(|(i, &v)| (i as u32, v))
+                .collect();
+            let s_out = sparse.insert_row(CoeffRow::from_sorted_entries(width, entries), ());
+            prop_assert_eq!(&d_out, &s_out, "insert outcomes diverged on {:?}", r);
+            prop_assert_eq!(dense.rank(), sparse.rank());
+            prop_assert_eq!(dense.decoded_prefix(), sparse.decoded_prefix());
+            prop_assert_eq!(dense.decoded_count(), sparse.decoded_count());
+        }
+        prop_assert_eq!(dense.coefficient_matrix(), sparse.coefficient_matrix());
     }
 }

@@ -288,7 +288,9 @@ mod tests {
     use crate::plane::PlaneNetwork;
     use crate::protocol::{predistribute, ProtocolConfig, SourceFanout};
     use crate::ring::RingNetwork;
-    use prlc_core::{PlcDecoder, PriorityDistribution, PriorityProfile, Scheme, SlcDecoder};
+    use prlc_core::{
+        CoeffRep, PlcDecoder, PriorityDistribution, PriorityProfile, Scheme, SlcDecoder,
+    };
     use prlc_gf::Gf256;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -310,6 +312,7 @@ mod tests {
             distribution: PriorityDistribution::uniform(3),
             locations: m,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: true,
             node_capacity: None,
             shared_seed: seed,
@@ -427,6 +430,7 @@ mod tests {
             distribution: PriorityDistribution::uniform(2),
             locations: 30,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: false,
             node_capacity: None,
             shared_seed: 17,
@@ -574,6 +578,7 @@ mod tests {
             distribution: PriorityDistribution::uniform(2),
             locations: 24,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: false,
             node_capacity: None,
             shared_seed: 99,

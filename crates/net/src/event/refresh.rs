@@ -132,7 +132,11 @@ impl<'a, N: NodeLocator, F: GfElem, R: Rng + ?Sized> RefreshMachine<'a, N, F, R>
         };
 
         let width = self.deployment.profile().total_blocks();
-        let mut block: CodedBlock<F> = CodedBlock::empty(level, width);
+        // The repaired block inherits the dead slot's coefficient
+        // representation, so a sparse deployment stays sparse across
+        // repair generations.
+        let rep = self.deployment.slots()[slot_idx].block.coefficients.rep();
+        let mut block: CodedBlock<F> = CodedBlock::empty_with(level, width, rep);
         let mut fetched = 0usize;
         for &j in &donors {
             let donor_slot = &self.deployment.slots()[j];

@@ -30,8 +30,8 @@
 //! # Example: persist and recover through 40% node failure
 //!
 //! ```
-//! use prlc_core::{PlcDecoder, PriorityDecoder, PriorityDistribution,
-//!                 PriorityProfile, Scheme};
+//! use prlc_core::{CoeffRep, PlcDecoder, PriorityDecoder,
+//!                 PriorityDistribution, PriorityProfile, Scheme};
 //! use prlc_gf::{Gf256, GfElem};
 //! use prlc_net::{collect, predistribute, CollectionConfig, Network,
 //!                ProtocolConfig, RingNetwork, SourceFanout};
@@ -51,6 +51,7 @@
 //!     distribution: PriorityDistribution::from_weights(vec![0.5, 0.5])?,
 //!     locations: 40,
 //!     fanout: SourceFanout::All,
+//!     coeff_rep: CoeffRep::Dense,
 //!     two_choices: true,
 //!     node_capacity: None,
 //!     shared_seed: 1,
@@ -95,6 +96,10 @@ pub use protocol::{
 pub use refresh::{refresh, refresh_with_faults, RefreshConfig, RefreshReport};
 pub use ring::RingNetwork;
 pub use rounds::{RoundId, RoundStore, RoundStoreConfig};
+
+// Re-exported so protocol configuration is self-contained for callers
+// that do not otherwise depend on prlc-core's coding types.
+pub use prlc_core::CoeffRep;
 
 #[cfg(test)]
 mod proptests;

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
+use prlc_core::{CoeffRep, PriorityDistribution, PriorityProfile, Scheme};
 use prlc_gf::Gf256;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -83,6 +83,7 @@ proptest! {
             distribution: PriorityDistribution::uniform(3),
             locations: m,
             fanout: SourceFanout::Log { factor: 1.5 },
+            coeff_rep: CoeffRep::Dense,
             two_choices: seed % 2 == 0,
             node_capacity: None,
             shared_seed: seed,
@@ -129,6 +130,7 @@ proptest! {
             distribution: PriorityDistribution::uniform(3),
             locations: 25,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: true,
             node_capacity: None,
             shared_seed: seed,

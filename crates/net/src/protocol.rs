@@ -19,7 +19,7 @@
 //! source block need only reach `Θ(ln N)` of its eligible locations
 //! ([`SourceFanout::Log`]) instead of all of them.
 
-use prlc_core::{CodedBlock, PriorityDistribution, PriorityProfile, Scheme};
+use prlc_core::{CodedBlock, CoeffRep, PriorityDistribution, PriorityProfile, Scheme};
 use prlc_gf::GfElem;
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
@@ -76,6 +76,12 @@ pub struct ProtocolConfig {
     pub locations: usize,
     /// Source dissemination fanout (dense or `Θ(ln N)`).
     pub fanout: SourceFanout,
+    /// Coefficient-row storage for the cached coded blocks: dense
+    /// vectors or sorted `(index, value)` pairs. Purely a physical
+    /// representation choice — every decode result, report, metric and
+    /// trace is identical either way (pinned by
+    /// `tests/coeffrep_equivalence.rs`).
+    pub coeff_rep: CoeffRep,
     /// Whether to balance node load with the power of two choices.
     pub two_choices: bool,
     /// Per-node cache capacity `d` (Sec. 4: "if there are W nodes in the
@@ -149,7 +155,7 @@ pub(crate) fn mix_seed(seed: u64) -> u64 {
 /// One storage location: a derived point, its owning node and the coded
 /// block accumulated there.
 #[derive(Debug, Clone)]
-pub struct StorageSlot<F> {
+pub struct StorageSlot<F: GfElem> {
     /// The node caching this block.
     pub node: NodeId,
     /// The priority level of the coded block stored here (which part of
@@ -198,7 +204,7 @@ impl DistributionMetrics {
 /// The in-network state after pre-distribution: every storage slot with
 /// its accumulated coded block, plus run metrics.
 #[derive(Debug, Clone)]
-pub struct Deployment<F> {
+pub struct Deployment<F: GfElem> {
     slots: Vec<StorageSlot<F>>,
     metrics: DistributionMetrics,
     profile: PriorityProfile,
@@ -338,7 +344,7 @@ pub fn predistribute_with_faults<N: Network, F: GfElem, R: Rng + ?Sized>(
 /// Everything both dissemination paths derive *locally* before any
 /// message is sent: validation, the shared-seed location derivation
 /// (phase 1) and the per-level slot split (phase 2).
-pub(crate) struct SessionSetup<P, F> {
+pub(crate) struct SessionSetup<P, F: GfElem> {
     /// Derived storage points, one per location.
     pub(crate) points: Vec<P>,
     /// Storage slots (owner, level, empty block), one per location.
@@ -447,7 +453,7 @@ pub(crate) fn session_setup<N: Network, F: GfElem>(
         .map(|(&node, &level)| StorageSlot {
             node,
             level,
-            block: CodedBlock::empty(level, n_blocks),
+            block: CodedBlock::empty_with(level, n_blocks, cfg.coeff_rep),
         })
         .collect();
 
@@ -612,6 +618,7 @@ mod tests {
             distribution: PriorityDistribution::uniform(3),
             locations: m,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: true,
             node_capacity: None,
             shared_seed: 42,
@@ -758,7 +765,7 @@ mod tests {
                 continue;
             }
             let mut want = vec![Gf256::ZERO; 2];
-            for (c, s) in slot.block.coefficients.iter().zip(&srcs) {
+            for (c, s) in slot.block.coefficients.to_dense_vec().iter().zip(&srcs) {
                 Gf256::axpy(&mut want, *c, s);
             }
             assert_eq!(slot.block.payload, want);

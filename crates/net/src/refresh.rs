@@ -203,7 +203,11 @@ where
         let new_node = net.owner_of(point).expect("alive_count > 0");
 
         let width = deployment.profile().total_blocks();
-        let mut block: CodedBlock<F> = CodedBlock::empty(level, width);
+        // The repaired block inherits the dead slot's coefficient
+        // representation, so a sparse deployment stays sparse across
+        // repair generations.
+        let rep = deployment.slots()[slot_idx].block.coefficients.rep();
+        let mut block: CodedBlock<F> = CodedBlock::empty_with(level, width, rep);
         let mut fetched = 0usize;
         for &j in &donors {
             let donor_slot = &deployment.slots()[j];
@@ -256,7 +260,7 @@ mod tests {
     use crate::network::Network;
     use crate::protocol::{predistribute, ProtocolConfig, SourceFanout};
     use crate::ring::RingNetwork;
-    use prlc_core::{PlcDecoder, PriorityDecoder, PriorityDistribution, PriorityProfile};
+    use prlc_core::{CoeffRep, PlcDecoder, PriorityDecoder, PriorityDistribution, PriorityProfile};
     use prlc_gf::Gf256;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -279,6 +283,7 @@ mod tests {
                 distribution: PriorityDistribution::uniform(3),
                 locations: 48,
                 fanout: SourceFanout::All,
+                coeff_rep: CoeffRep::Dense,
                 two_choices: true,
                 node_capacity: None,
                 shared_seed: seed,

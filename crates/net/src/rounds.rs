@@ -52,7 +52,7 @@ pub struct RoundStoreConfig {
 
 /// A rolling window of persisted measurement rounds.
 #[derive(Debug, Clone)]
-pub struct RoundStore<F> {
+pub struct RoundStore<F: GfElem> {
     config: RoundStoreConfig,
     rounds: VecDeque<(RoundId, Deployment<F>)>,
     next_round: u64,
@@ -189,7 +189,7 @@ mod tests {
     use super::*;
     use crate::collect::{collect, CollectionConfig};
     use crate::ring::RingNetwork;
-    use prlc_core::{PlcDecoder, PriorityDistribution, PriorityProfile, Scheme};
+    use prlc_core::{CoeffRep, PlcDecoder, PriorityDistribution, PriorityProfile, Scheme};
     use prlc_gf::Gf256;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -204,6 +204,7 @@ mod tests {
                 distribution: PriorityDistribution::uniform(2),
                 locations,
                 fanout: SourceFanout::All,
+                coeff_rep: CoeffRep::Dense,
                 two_choices: true,
                 node_capacity: None,
                 shared_seed: 42,

@@ -13,7 +13,8 @@
 //! buys back.
 
 use prlc_core::{
-    PlcDecoder, PriorityDecoder, PriorityDistribution, PriorityProfile, Scheme, SlcDecoder,
+    CoeffRep, PlcDecoder, PriorityDecoder, PriorityDistribution, PriorityProfile, Scheme,
+    SlcDecoder,
 };
 use prlc_gf::GfElem;
 use prlc_net::{
@@ -216,6 +217,7 @@ fn one_sweep_run<F: GfElem>(
             distribution: cfg.distribution.clone(),
             locations: cfg.locations,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: true,
             node_capacity: None,
             shared_seed: seed,

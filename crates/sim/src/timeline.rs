@@ -8,7 +8,8 @@
 //! claws back — by measuring the decodable levels after every epoch.
 
 use prlc_core::{
-    PlcDecoder, PriorityDecoder, PriorityDistribution, PriorityProfile, Scheme, SlcDecoder,
+    CoeffRep, PlcDecoder, PriorityDecoder, PriorityDistribution, PriorityProfile, Scheme,
+    SlcDecoder,
 };
 use prlc_gf::GfElem;
 use prlc_net::{
@@ -49,6 +50,11 @@ pub struct TimelineConfig {
     /// reproduces the paper's protocol; sparse fanouts keep large-N
     /// timelines affordable.
     pub fanout: SourceFanout,
+    /// Coefficient-row storage for the cached blocks (dense vectors or
+    /// sorted pairs). A physical-representation choice only: results
+    /// are identical either way, but sparse rows keep per-block memory
+    /// at `O(ln N)` under sparse fanouts instead of `O(N)`.
+    pub coeff_rep: CoeffRep,
     /// Independent runs.
     pub runs: usize,
     /// Base seed.
@@ -91,6 +97,7 @@ pub fn simulate_persistence_timeline_with_threads<F: GfElem>(
                 distribution: cfg.distribution.clone(),
                 locations: cfg.locations,
                 fanout: cfg.fanout,
+                coeff_rep: cfg.coeff_rep,
                 two_choices: true,
                 node_capacity: None,
                 shared_seed: seed,
@@ -208,6 +215,7 @@ mod tests {
             repair_donors: repair,
             faults: FaultPlan::none(),
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             runs: 8,
             seed: 5,
         }

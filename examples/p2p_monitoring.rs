@@ -42,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             distribution: PriorityDistribution::from_weights(vec![0.35, 0.35, 0.30])?,
             locations: 240,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: true,
             node_capacity: None,
             shared_seed: 0x5E55_1013,

@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             distribution: PriorityDistribution::from_weights(vec![0.45, 0.55])?,
             locations: 40,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: true,
             node_capacity: Some(4),
             shared_seed: 0xC1CADA,

@@ -44,6 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             distribution,
             locations: 150,
             fanout: SourceFanout::Log { factor: 2.0 },
+            coeff_rep: CoeffRep::Dense,
             two_choices: true,
             node_capacity: None,
             shared_seed: 0xBEEF,

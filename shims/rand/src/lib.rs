@@ -304,6 +304,15 @@ pub mod seq {
         /// Samples `amount` distinct indices uniformly from `0..length`
         /// (partial Fisher–Yates).
         ///
+        /// The virtual pool `0..length` is never materialised: a sparse
+        /// displacement map records only the positions a swap has
+        /// touched, so the call allocates `O(amount)` regardless of
+        /// `length` — sampling 20 indices out of 10^6 costs 20 map
+        /// entries, not a million-element vector. The draw sequence and
+        /// output are identical to the materialised-pool version
+        /// (`pool.swap(i, rng.gen_range(i..length))` per step), which
+        /// the tests pin.
+        ///
         /// # Panics
         ///
         /// Panics if `amount > length`.
@@ -312,13 +321,23 @@ pub mod seq {
                 amount <= length,
                 "cannot sample {amount} indices from 0..{length}"
             );
-            let mut pool: Vec<usize> = (0..length).collect();
+            // Maps position -> current value for the positions whose
+            // value differs from their index. BTreeMap rather than
+            // HashMap for deterministic, std-hasher-free behaviour.
+            let mut displaced: std::collections::BTreeMap<usize, usize> =
+                std::collections::BTreeMap::new();
+            let mut out = Vec::with_capacity(amount);
             for i in 0..amount {
                 let j = rng.gen_range(i..length);
-                pool.swap(i, j);
+                let vj = displaced.get(&j).copied().unwrap_or(j);
+                let vi = displaced.get(&i).copied().unwrap_or(i);
+                // swap(i, j): position i is emitted now and never read
+                // again (future draws are over i+1..length), so only
+                // position j needs recording.
+                out.push(vj);
+                displaced.insert(j, vi);
             }
-            pool.truncate(amount);
-            IndexVec(pool)
+            IndexVec(out)
         }
     }
 }
@@ -394,6 +413,63 @@ mod tests {
             v
         };
         assert_eq!(full, vec![0, 1, 2, 3, 4]);
+    }
+
+    /// Reference implementation the sparse `sample` replaced: a fully
+    /// materialised `0..length` pool with partial Fisher–Yates. Kept
+    /// here to pin that the sparse version draws the same randomness
+    /// and emits the same indices.
+    fn sample_dense_pool<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> Vec<usize> {
+        assert!(amount <= length);
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..length);
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        pool
+    }
+
+    #[test]
+    fn sparse_sample_matches_dense_pool_exactly() {
+        for seed in 0..20u64 {
+            for &(length, amount) in &[
+                (1usize, 0usize),
+                (1, 1),
+                (5, 5),
+                (20, 7),
+                (100, 1),
+                (100, 99),
+                (100, 100),
+                (1000, 13),
+                (10_000, 25),
+            ] {
+                let mut a = StdRng::seed_from_u64(seed);
+                let mut b = StdRng::seed_from_u64(seed);
+                let sparse = sample(&mut a, length, amount).into_vec();
+                let dense = sample_dense_pool(&mut b, length, amount);
+                assert_eq!(
+                    sparse, dense,
+                    "seed {seed}, length {length}, amount {amount}"
+                );
+                // Both consumed the same number of draws.
+                assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+            }
+        }
+    }
+
+    #[test]
+    fn sample_handles_huge_lengths_without_pool_allocation() {
+        // The dense-pool version would allocate 8 GB here; the sparse
+        // version only touches `amount` map entries.
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = sample(&mut rng, 1_000_000_000, 20).into_vec();
+        assert_eq!(v.len(), 20);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "duplicates in {v:?}");
+        assert!(v.iter().all(|&i| i < 1_000_000_000));
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub mod prelude {
         SeededEncoder, SlcDecoder, UtilityFunction,
     };
     pub use prlc_gf::{Gf16, Gf256, Gf64k, GfElem};
-    pub use prlc_linalg::{Matrix, ProgressiveRref};
+    pub use prlc_linalg::{CoeffRep, CoeffRow, Matrix, ProgressiveRref};
     pub use prlc_net::{
         collect, predistribute, refresh, Churn, CollectionConfig, Network, NodeId, PlaneNetwork,
         ProtocolConfig, RefreshConfig, RingNetwork, SourceFanout,

@@ -148,6 +148,7 @@ fn network_collection_matches_in_memory_curve() {
                 distribution: dist.clone(),
                 locations,
                 fanout: SourceFanout::All,
+                coeff_rep: CoeffRep::Dense,
                 two_choices: true,
                 node_capacity: None,
                 shared_seed: seed,

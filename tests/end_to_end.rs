@@ -29,6 +29,7 @@ fn ring_plc_full_pipeline_recovers_all_payloads() {
             distribution: PriorityDistribution::uniform(3),
             locations: 90,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: true,
             node_capacity: None,
             shared_seed: 11,
@@ -77,6 +78,7 @@ fn plane_slc_pipeline_with_failures_prioritises_level_one() {
                 distribution: PriorityDistribution::from_weights(vec![0.5, 0.3, 0.2]).unwrap(),
                 locations: 80,
                 fanout: SourceFanout::All,
+                coeff_rep: CoeffRep::Dense,
                 two_choices: true,
                 node_capacity: None,
                 shared_seed: seed,
@@ -135,6 +137,7 @@ fn early_stop_saves_collection_work() {
             distribution: PriorityDistribution::from_weights(vec![0.4, 0.6]).unwrap(),
             locations: 100,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: false,
             node_capacity: None,
             shared_seed: 3,
@@ -192,6 +195,7 @@ fn rlc_requires_full_collection_on_network_too() {
             distribution: PriorityDistribution::uniform(2),
             locations: 30,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: true,
             node_capacity: None,
             shared_seed: 4,
@@ -250,6 +254,7 @@ proptest! {
                 distribution: PriorityDistribution::uniform(3),
                 locations: 36,
                 fanout: SourceFanout::All,
+                coeff_rep: CoeffRep::Dense,
                 two_choices: true,
                 node_capacity: None,
                 shared_seed: seed,
@@ -339,6 +344,7 @@ fn deterministic_pipeline_given_seeds() {
                 distribution: PriorityDistribution::uniform(2),
                 locations: 20,
                 fanout: SourceFanout::Log { factor: 2.0 },
+                coeff_rep: CoeffRep::Dense,
                 two_choices: true,
                 node_capacity: None,
                 shared_seed: 8,

@@ -64,6 +64,7 @@ fn run_pipeline(
         distribution: PriorityDistribution::uniform(profile.num_levels()),
         locations: (nodes / 2).min(60),
         fanout: SourceFanout::All,
+        coeff_rep: CoeffRep::Dense,
         two_choices: true,
         node_capacity: None,
         shared_seed: seed,

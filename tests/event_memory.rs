@@ -43,6 +43,7 @@ fn nodes_touched_is_bounded_by_active_set_at_n_100k() {
             distribution: PriorityDistribution::uniform(3),
             locations: LOCATIONS,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: true,
             node_capacity: None,
             shared_seed: 42,

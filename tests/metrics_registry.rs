@@ -55,6 +55,7 @@ fn net_round(seed: u64, loss: f64, retries: usize, churn_fraction: f64) {
             distribution: PriorityDistribution::uniform(2),
             locations: 24,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: true,
             node_capacity: None,
             shared_seed: seed,
@@ -96,6 +97,7 @@ fn refresh_round(seed: u64) {
             distribution: PriorityDistribution::uniform(2),
             locations: 20,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: false,
             node_capacity: None,
             shared_seed: seed,
@@ -155,6 +157,7 @@ fn timeline_round(seed: u64) {
         repair_donors: Some(2),
         faults: FaultPlan::none(),
         fanout: SourceFanout::All,
+        coeff_rep: CoeffRep::Dense,
         runs: 1,
         seed,
     });

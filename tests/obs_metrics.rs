@@ -68,6 +68,7 @@ fn message_deltas(
             distribution: PriorityDistribution::uniform(2),
             locations: 24,
             fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
             two_choices: true,
             node_capacity: None,
             shared_seed: seed,

@@ -1,0 +1,108 @@
+//! Allocation bounds of the sparse paths.
+//!
+//! The paper's `O(ln N)` sparsity claim is only real if the code stops
+//! *allocating* `O(N)` per block. A counting global allocator measures
+//! the bytes allocated across the two operations that used to be the
+//! offenders:
+//!
+//! * `rand::seq::index::sample`, which materialised the whole
+//!   `0..length` pool (8 GB at `length = 10^9`), and
+//! * sparse-representation coefficient encoding, which went through a
+//!   dense length-`N` vector (100 kB at `N = 10^5`).
+//!
+//! Both must now stay within a few kilobytes regardless of `N`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use prlc::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+/// Counts every byte handed out (alloc + realloc growth); deallocation
+/// is irrelevant — the old implementations would show up here as huge
+/// transient allocations even though they freed the memory afterwards.
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System`; the only addition is a relaxed
+// atomic counter bump, which cannot violate the allocator contract.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: delegates to `System.alloc` under the caller's layout.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: same layout the caller guaranteed valid.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: delegates to `System.dealloc` with the caller's ptr/layout.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr was returned by `System.alloc` with this layout.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: delegates to `System.realloc` with the caller's arguments.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        // SAFETY: ptr/layout/new_size are forwarded unchanged.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The counter is process-global; measured sections must not interleave
+/// with each other (the harness runs tests on separate threads).
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn bytes_allocated_by(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    f();
+    ALLOCATED.load(Ordering::Relaxed) - before
+}
+
+/// Generous slack for harness/runtime noise; five orders of magnitude
+/// below the dense cost the bound is guarding against.
+const BUDGET: u64 = 64 * 1024;
+
+#[test]
+fn sample_allocates_o_amount_not_o_length() {
+    let _guard = GUARD.lock().unwrap();
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut out = Vec::new();
+    let bytes = bytes_allocated_by(|| {
+        out = sample(&mut rng, 1_000_000_000, 20).into_vec();
+    });
+    assert_eq!(out.len(), 20);
+    assert!(
+        bytes < BUDGET,
+        "sample(10^9, 20) allocated {bytes} bytes — the 0..length pool is back"
+    );
+}
+
+#[test]
+fn sparse_encode_allocates_o_ln_n_not_o_n() {
+    let _guard = GUARD.lock().unwrap();
+    let n = 100_000;
+    let profile = PriorityProfile::flat(n).unwrap();
+    let enc = Encoder::sparse(Scheme::Rlc, profile, 2.0).with_coeff_rep(CoeffRep::Sparse);
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut row: Option<CoeffRow<Gf256>> = None;
+    let bytes = bytes_allocated_by(|| {
+        row = Some(enc.encode_coefficients::<Gf256, _>(0, &mut rng));
+    });
+    let row = row.unwrap();
+    assert_eq!(row.rep(), CoeffRep::Sparse);
+    assert_eq!(row.len(), n);
+    let expected = (2.0 * (n as f64).ln()).ceil() as usize;
+    assert_eq!(row.nnz(), expected);
+    assert!(
+        bytes < BUDGET,
+        "sparse encode at N={n} allocated {bytes} bytes — a dense \
+         length-N buffer is hiding in the path"
+    );
+}
