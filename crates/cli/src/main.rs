@@ -6,12 +6,12 @@ use std::process::ExitCode;
 use prlc_cli::{decode, encode, info, DecodeOptions, EncodeOptions};
 use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
 use prlc_gf::{kernel, Gf256};
-use prlc_net::{CoeffRep, FaultPlan, RetryPolicy, SourceFanout};
+use prlc_net::{AdversaryPlan, AdversaryStrategy, CoeffRep, FaultPlan, RetryPolicy, SourceFanout};
 use prlc_sim::{
-    fmt_f, persistence_under_lossy_collection_with_threads, runner,
-    simulate_decoding_curve_with_threads, simulate_persistence_timeline_with_threads,
-    timeline_results_json, CurveConfig, LossyCollectionConfig, Persistence, RunMetadata, Table,
-    TimelineConfig,
+    adversary_results_json, fmt_f, persistence_under_lossy_collection_with_threads, runner,
+    simulate_adversary_sweep_with_threads, simulate_decoding_curve_with_threads,
+    simulate_persistence_timeline_with_threads, timeline_results_json, AdversarySweepConfig,
+    CurveConfig, LossyCollectionConfig, Persistence, RunMetadata, Table, TimelineConfig,
 };
 
 const USAGE: &str = "\
@@ -27,6 +27,8 @@ USAGE:
            [--loss p1,p2,...] [--retries r1,r2,...]
            [--nodes N] [--locations M]
            [--epochs E] [--churn p] [--repair D]
+           [--adversary region|eclipse|targeted|creep]
+           [--adv-intensity X] [--adv-segment L] [--adv-focus p]
            [--fanout all|log:F] [--coeff dense|sparse]
            [--bench-out FILE] [--metrics FILE|-]
            [--trace FILE|-] [--trace-format json|chrome]
@@ -67,6 +69,22 @@ ceil(F·ln N) of its eligible locations instead of all of them, and
 pairs instead of dense length-N vectors — together they bound both the
 bandwidth and the per-block memory at O(ln N). Results are identical
 between --coeff dense and --coeff sparse for the same seed.
+
+With --adversary, `sim` mounts a structured fault adversary on the
+deployed overlay (coding schemes only) and reports per-epoch decoded
+levels plus per-level survival frequencies, collected through the
+faulted transport. Strategies: `region` crashes contiguous ring
+segments (anchor fraction --adv-intensity, default 0.05; segment
+length --adv-segment, default 4), `eclipse` concentrates loss on
+traffic leaving through the collector's finger neighborhood
+(--adv-intensity = loss, default 0.9), `targeted` adaptively crashes
+the caches holding the highest-level blocks (--adv-intensity = kill
+count, default locations/4; --adv-focus = greedy-pick probability,
+default 1.0), `creep` silently compromises nodes every epoch
+(--adv-intensity = per-epoch rate, default 0.1) — compromised nodes
+stay in the overlay where repair cannot see them. --epochs (default
+4), --churn (default 0 here), --repair, --loss/--retries, --nodes,
+--locations, --fanout and --coeff compose as in the timeline mode.
 
 --metrics enables the prlc-obs recorder and dumps the full metrics
 snapshot (counters, histograms, events, timers) as one JSON object to
@@ -369,6 +387,20 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
             .collect::<Vec<_>>()
     );
 
+    if flag_value(args, "--adversary")?.is_some() {
+        return cmd_sim_adversary(
+            args,
+            persistence,
+            profile,
+            distribution,
+            runs,
+            seed,
+            threads,
+            &mut meta,
+            metrics_out.as_deref(),
+        );
+    }
+
     if flag_value(args, "--epochs")?.is_some() {
         return cmd_sim_timeline(
             args,
@@ -645,6 +677,222 @@ fn overlay_geometry(args: &[String], profile: &PriorityProfile) -> Result<(usize
         ));
     }
     Ok((nodes, locations))
+}
+
+/// The `sim --adversary` path: per-epoch decoding degradation under a
+/// structured fault adversary, measured through the faulted transport.
+#[allow(clippy::too_many_arguments)]
+fn cmd_sim_adversary(
+    args: &[String],
+    persistence: Persistence,
+    profile: PriorityProfile,
+    distribution: PriorityDistribution,
+    runs: usize,
+    seed: u64,
+    threads: usize,
+    meta: &mut RunMetadata,
+    metrics_out: Option<&str>,
+) -> Result<(), String> {
+    let Persistence::Coding(scheme) = persistence else {
+        return Err("--adversary needs a coding scheme (rlc|slc|plc): the \
+                    baselines have no networked persistence path"
+            .into());
+    };
+    let (nodes, locations) = overlay_geometry(args, &profile)?;
+    let intensity = flag_value(args, "--adv-intensity")?;
+    let strategy = match flag_value(args, "--adversary")?.as_deref() {
+        Some("region") => {
+            let fraction: f64 = match intensity.as_deref() {
+                Some(v) => v.parse().map_err(|_| "bad --adv-intensity")?,
+                None => 0.05,
+            };
+            let segment_len: usize = match flag_value(args, "--adv-segment")?.as_deref() {
+                Some(v) => v.parse().map_err(|_| "bad --adv-segment")?,
+                None => 4,
+            };
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err("--adv-intensity (region fraction) must be in [0,1]".into());
+            }
+            if segment_len == 0 {
+                return Err("--adv-segment must be at least 1".into());
+            }
+            AdversaryStrategy::Region {
+                fraction,
+                segment_len,
+            }
+        }
+        Some("eclipse") => {
+            let loss: f64 = match intensity.as_deref() {
+                Some(v) => v.parse().map_err(|_| "bad --adv-intensity")?,
+                None => 0.9,
+            };
+            if !(0.0..=1.0).contains(&loss) {
+                return Err("--adv-intensity (eclipse loss) must be in [0,1]".into());
+            }
+            AdversaryStrategy::Eclipse { loss }
+        }
+        Some("targeted") => {
+            let kills: usize = match intensity.as_deref() {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| "bad --adv-intensity (targeted takes a kill count)")?,
+                None => locations / 4,
+            };
+            let focus: f64 = match flag_value(args, "--adv-focus")?.as_deref() {
+                Some(v) => v.parse().map_err(|_| "bad --adv-focus")?,
+                None => 1.0,
+            };
+            if !(0.0..=1.0).contains(&focus) {
+                return Err("--adv-focus must be in [0,1]".into());
+            }
+            AdversaryStrategy::Targeted { kills, focus }
+        }
+        Some("creep") => {
+            let per_epoch: f64 = match intensity.as_deref() {
+                Some(v) => v.parse().map_err(|_| "bad --adv-intensity")?,
+                None => 0.1,
+            };
+            if !(0.0..=1.0).contains(&per_epoch) {
+                return Err("--adv-intensity (creep rate) must be in [0,1]".into());
+            }
+            AdversaryStrategy::Creep { per_epoch }
+        }
+        Some(v) => {
+            return Err(format!(
+                "bad --adversary {v:?} (want region|eclipse|targeted|creep)"
+            ))
+        }
+        None => return Err("--adversary missing".into()),
+    };
+    let epochs: usize = match flag_value(args, "--epochs")? {
+        Some(v) => {
+            let e = v.parse().map_err(|_| "bad --epochs")?;
+            if e == 0 {
+                return Err("--epochs must be at least 1".into());
+            }
+            e
+        }
+        None => 4,
+    };
+    let churn: f64 = match flag_value(args, "--churn")? {
+        Some(v) => v.parse().map_err(|_| "bad --churn")?,
+        None => 0.0,
+    };
+    if !(0.0..=1.0).contains(&churn) {
+        return Err("--churn must be in [0,1]".into());
+    }
+    let repair_donors: Option<usize> = match flag_value(args, "--repair")? {
+        Some(v) => {
+            let d: usize = v.parse().map_err(|_| "bad --repair")?;
+            if d == 0 {
+                return Err("--repair needs at least one donor per slot".into());
+            }
+            Some(d)
+        }
+        None => None,
+    };
+    let loss: f64 = match flag_value(args, "--loss")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| "bad --loss (an adversary sweep takes a single rate)")?,
+        None => 0.0,
+    };
+    if !(0.0..=1.0).contains(&loss) {
+        return Err("--loss must be in [0,1]".into());
+    }
+    let retries: usize = match flag_value(args, "--retries")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| "bad --retries (an adversary sweep takes a single budget)")?,
+        None => 0,
+    };
+    let fanout = match flag_value(args, "--fanout")?.as_deref() {
+        None | Some("all") => SourceFanout::All,
+        Some(v) => match v.strip_prefix("log:") {
+            Some(f) => {
+                let factor: f64 = f.parse().map_err(|_| "bad --fanout factor")?;
+                if !factor.is_finite() || factor <= 0.0 {
+                    return Err("--fanout log factor must be finite and > 0".into());
+                }
+                SourceFanout::Log { factor }
+            }
+            None => return Err(format!("bad --fanout {v:?} (want all or log:F)")),
+        },
+    };
+    let coeff_rep = match flag_value(args, "--coeff")?.as_deref() {
+        None | Some("dense") => CoeffRep::Dense,
+        Some("sparse") => CoeffRep::Sparse,
+        Some(v) => return Err(format!("bad --coeff {v:?} (want dense or sparse)")),
+    };
+    let faults = if loss > 0.0 {
+        FaultPlan::lossy(loss, RetryPolicy::with_retries(retries, 1), seed)
+    } else {
+        FaultPlan::none()
+    };
+
+    println!(
+        "adversary sweep: {strategy:?}, {nodes} nodes, {locations} locations, \
+         {epochs} epochs, churn {}, repair {}, loss {}",
+        fmt_f(churn, 2),
+        repair_donors.map_or_else(|| "off".to_string(), |d| format!("{d} donors")),
+        fmt_f(loss, 2),
+    );
+    let cfg = AdversarySweepConfig {
+        scheme,
+        profile,
+        distribution,
+        nodes,
+        locations,
+        adversary: AdversaryPlan {
+            strategy,
+            after_messages: 0,
+            seed,
+        },
+        epochs,
+        churn_per_epoch: churn,
+        repair_donors,
+        faults,
+        fanout,
+        coeff_rep,
+        runs,
+        seed,
+    };
+    let out = simulate_adversary_sweep_with_threads::<Gf256>(&cfg, threads);
+
+    let mut table = Table::new(["epoch", "levels", "ci95", "survival"]);
+    for e in &out {
+        let survival: Vec<String> = e.level_survival.iter().map(|s| fmt_f(*s, 2)).collect();
+        table.push_row([
+            e.epoch.to_string(),
+            fmt_f(e.decoded_levels.mean, 3),
+            fmt_f(e.decoded_levels.ci95, 3),
+            survival.join(" "),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let metrics_json = match metrics_out {
+        Some(dest) => Some(finish_metrics(meta, dest)?),
+        None => None,
+    };
+    let trace_out = flag_value(args, "--trace")?;
+    let trace_format = flag_value(args, "--trace-format")?.unwrap_or_else(|| "json".to_string());
+    let trace_json = match trace_out.as_deref() {
+        Some(dest) => Some(finish_trace(dest, &trace_format)?),
+        None => None,
+    };
+
+    if let Some(path) = flag_value(args, "--bench-out")? {
+        meta.write_bench_json_with_blocks(
+            std::path::Path::new(&path),
+            &adversary_results_json(&out),
+            metrics_json.as_deref(),
+            trace_json.as_deref(),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote adversary sweep + run metadata to {path}");
+    }
+    Ok(())
 }
 
 /// The `sim --epochs` path: a long-horizon persistence timeline on the

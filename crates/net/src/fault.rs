@@ -136,8 +136,13 @@ impl FaultPlan {
         }
     }
 
-    /// A plain lossy-link plan: every transmission is lost with
-    /// probability `loss`, retried per `retry`.
+    /// A plain lossy-link plan: every transmission is independently lost
+    /// with probability `loss` (uniform across destinations — unless an
+    /// adversary installs an eclipse bias on the session, which
+    /// overrides the loss rate per destination), retried per `retry`.
+    /// Churn and adversary strikes fire at *attempt boundaries*: see the
+    /// ordering contract on [`FaultSession::attempt`] and DESIGN.md's
+    /// fault-model section.
     pub fn lossy(loss: f64, retry: RetryPolicy, seed: u64) -> Self {
         FaultPlan {
             link: LinkModel {
@@ -172,8 +177,17 @@ impl FaultPlan {
             "churn fractions must be in [0,1]"
         );
         assert!(self.retry.max_attempts >= 1, "max_attempts must be >= 1");
-        let mut events = self.churn.clone();
-        events.sort_by_key(|e| e.after_messages);
+        let mut churn = self.churn.clone();
+        churn.sort_by_key(|e| e.after_messages);
+        let events = churn
+            .into_iter()
+            .map(|e| ScheduledStrike {
+                after_messages: e.after_messages,
+                kind: StrikeKind::Churn {
+                    fraction: e.fraction,
+                },
+            })
+            .collect();
         FaultSession {
             link: self.link,
             retry: self.retry,
@@ -184,8 +198,10 @@ impl FaultPlan {
             // neither the protocol RNG nor the location stream.
             rng: StdRng::seed_from_u64(mix_fault_seed(self.seed)),
             down: vec![false; node_count],
+            eclipse: None,
             step: 0,
             crashed: 0,
+            compromised: 0,
         }
     }
 }
@@ -230,18 +246,63 @@ pub struct Delivery {
     pub cost_hops: usize,
 }
 
+/// A strike pending on the session's message-step clock. `Churn` strikes
+/// come from the plan's public [`ChurnEvent`] list; the structured kinds
+/// are scheduled by [`crate::adversary::Adversary`]. All of them fire at
+/// attempt boundaries through the same `fire_due_events` dispatch, so
+/// the ordering contract on [`FaultSession::attempt`] covers every kind.
+#[derive(Debug, Clone)]
+pub(crate) struct ScheduledStrike {
+    pub(crate) after_messages: usize,
+    pub(crate) kind: StrikeKind,
+}
+
+/// What a strike does when it fires.
+#[derive(Debug, Clone)]
+pub(crate) enum StrikeKind {
+    /// iid per-node crash with probability `fraction` — the public
+    /// [`ChurnEvent`] model.
+    Churn { fraction: f64 },
+    /// Correlated regional outage: every node still up anchors, with
+    /// probability `fraction`, a crash of the `segment_len` contiguous
+    /// ring positions starting at its own. `order[p]` is the node at
+    /// clockwise ring position `p`; `pos` is its inverse permutation.
+    /// With `segment_len == 1` the anchor draws *and* the crash set are
+    /// identical to a `Churn` strike of the same fraction.
+    Region {
+        fraction: f64,
+        segment_len: usize,
+        order: Vec<u32>,
+        pos: Vec<u32>,
+    },
+    /// Crash exactly the listed nodes. Consumes no randomness — the
+    /// adversary chose the victims at arm time on its own RNG stream.
+    Directed { nodes: Vec<u32> },
+}
+
+/// Per-destination loss bias installed by a collector-eclipse adversary:
+/// transmissions to a targeted destination are lost with probability
+/// `loss` instead of the base link loss.
+#[derive(Debug, Clone)]
+pub(crate) struct EclipseBias {
+    pub(crate) targets: Vec<bool>,
+    pub(crate) loss: f64,
+}
+
 /// Per-run fault state: the crashed-node overlay, the fault RNG and the
-/// message-step counter driving churn events.
+/// message-step counter driving churn events and adversary strikes.
 #[derive(Debug, Clone)]
 pub struct FaultSession {
     link: LinkModel,
     retry: RetryPolicy,
-    events: Vec<ChurnEvent>,
+    events: Vec<ScheduledStrike>,
     next_event: usize,
     rng: StdRng,
     down: Vec<bool>,
+    eclipse: Option<EclipseBias>,
     step: usize,
     crashed: usize,
+    compromised: usize,
 }
 
 impl FaultSession {
@@ -252,9 +313,15 @@ impl FaultSession {
         self.down.get(node.index()).copied().unwrap_or(false)
     }
 
-    /// Nodes crashed by churn events so far.
+    /// Nodes crashed by churn events and adversary strikes so far
+    /// (excluding silently compromised nodes).
     pub fn crashed_nodes(&self) -> usize {
         self.crashed
+    }
+
+    /// Nodes silently compromised by a slow-compromise adversary so far.
+    pub fn compromised_nodes(&self) -> usize {
+        self.compromised
     }
 
     /// Transmission attempts processed so far.
@@ -262,33 +329,172 @@ impl FaultSession {
         self.step
     }
 
-    /// Fires every churn event scheduled at or before the current step.
+    /// Advances the message-step clock by `n` without transmitting —
+    /// equivalent to `n` idle attempt boundaries — and fires every
+    /// strike that falls due. Simulations call this at epoch boundaries
+    /// so strikes scheduled past the last transmission of an epoch still
+    /// fire before the next one begins.
+    pub fn advance_steps(&mut self, n: usize) {
+        self.step += n;
+        self.fire_due_events();
+    }
+
+    /// Inserts a strike into the pending schedule, keeping
+    /// `after_messages` order with FIFO among ties: a strike scheduled
+    /// later fires after already-pending strikes due at the same step.
+    pub(crate) fn schedule_strike(&mut self, after_messages: usize, kind: StrikeKind) {
+        let mut at = self.events.len();
+        for j in self.next_event..self.events.len() {
+            if self.events[j].after_messages > after_messages {
+                at = j;
+                break;
+            }
+        }
+        self.events.insert(
+            at,
+            ScheduledStrike {
+                after_messages,
+                kind,
+            },
+        );
+    }
+
+    /// Installs (or replaces) an eclipse bias: transmissions to targeted
+    /// destinations are lost with probability `loss` instead of the base
+    /// link loss.
+    pub(crate) fn set_eclipse(&mut self, targets: Vec<bool>, loss: f64) {
+        self.eclipse = Some(EclipseBias { targets, loss });
+    }
+
+    /// Marks `node` as compromised: it is treated as down for every
+    /// future delivery, but nothing else in the system is told — the
+    /// overlay still routes to it, so repair neither detects nor fixes
+    /// its slots. Returns whether the node was newly compromised.
+    pub(crate) fn mark_compromised(&mut self, node: usize) -> bool {
+        match self.down.get_mut(node) {
+            Some(d) if !*d => {
+                *d = true;
+                self.compromised += 1;
+                if prlc_obs::enabled() {
+                    prlc_obs::counter!("net.adversary.compromised").incr();
+                }
+                if prlc_obs::trace::enabled() {
+                    prlc_obs::trace_instant!(
+                        "net.adversary.crash",
+                        self.step as u64,
+                        node: node as u64,
+                    );
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Crashes `node` on behalf of an adversary strike, emitting the
+    /// `net.adversary.*` observability keys. No-op if already down.
+    fn crash_adversary(&mut self, node: usize) {
+        if let Some(d) = self.down.get_mut(node) {
+            if !*d {
+                *d = true;
+                self.crashed += 1;
+                if prlc_obs::enabled() {
+                    prlc_obs::counter!("net.adversary.crashed").incr();
+                }
+                if prlc_obs::trace::enabled() {
+                    prlc_obs::trace_instant!(
+                        "net.adversary.crash",
+                        self.step as u64,
+                        node: node as u64,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fires every strike scheduled at or before the current step.
     fn fire_due_events(&mut self) {
         while self.next_event < self.events.len()
             && self.events[self.next_event].after_messages <= self.step
         {
-            let fraction = self.events[self.next_event].fraction;
+            let idx = self.next_event;
             self.next_event += 1;
-            if fraction <= 0.0 {
-                continue;
-            }
-            for (i, d) in self.down.iter_mut().enumerate() {
-                if !*d && self.rng.gen_bool(fraction) {
-                    *d = true;
-                    self.crashed += 1;
-                    if prlc_obs::enabled() {
-                        prlc_obs::counter!("net.churn.crashed").incr();
-                        // Domain-separated ID: node index within the
-                        // session; the value is the (deterministic)
-                        // message step the crash interleaved with.
-                        prlc_obs::record_event("net.churn", i as u64, "crash", self.step as u64);
+            // Move the kind out so the borrow on `events` ends before the
+            // dispatch mutates `down`/`rng`; the slot is spent anyway.
+            let kind = std::mem::replace(
+                &mut self.events[idx].kind,
+                StrikeKind::Churn { fraction: 0.0 },
+            );
+            match kind {
+                StrikeKind::Churn { fraction } => {
+                    if fraction <= 0.0 {
+                        continue;
                     }
-                    if prlc_obs::trace::enabled() {
-                        prlc_obs::trace_instant!(
-                            "net.fault.crash",
-                            self.step as u64,
-                            node: i as u64,
-                        );
+                    for (i, d) in self.down.iter_mut().enumerate() {
+                        if !*d && self.rng.gen_bool(fraction) {
+                            *d = true;
+                            self.crashed += 1;
+                            if prlc_obs::enabled() {
+                                prlc_obs::counter!("net.churn.crashed").incr();
+                                // Domain-separated ID: node index within the
+                                // session; the value is the (deterministic)
+                                // message step the crash interleaved with.
+                                prlc_obs::record_event(
+                                    "net.churn",
+                                    i as u64,
+                                    "crash",
+                                    self.step as u64,
+                                );
+                            }
+                            if prlc_obs::trace::enabled() {
+                                prlc_obs::trace_instant!(
+                                    "net.fault.crash",
+                                    self.step as u64,
+                                    node: i as u64,
+                                );
+                            }
+                        }
+                    }
+                }
+                StrikeKind::Region {
+                    fraction,
+                    segment_len,
+                    order,
+                    pos,
+                } => {
+                    if fraction <= 0.0 || segment_len == 0 || order.is_empty() {
+                        continue;
+                    }
+                    if prlc_obs::enabled() {
+                        prlc_obs::counter!("net.adversary.strikes").incr();
+                    }
+                    // Anchor draws are snapshotted against the pre-strike
+                    // down set, so the gen_bool stream is independent of
+                    // the segment crashes this strike applies: with
+                    // `segment_len == 1` the stream and crash set are
+                    // byte-identical to a `Churn` strike, and across
+                    // intensities the draw sequences stay aligned (the
+                    // monotone-coupling argument the proptests rely on).
+                    let mut anchors = Vec::new();
+                    for i in 0..self.down.len() {
+                        if !self.down[i] && self.rng.gen_bool(fraction) {
+                            anchors.push(i);
+                        }
+                    }
+                    let n = order.len();
+                    for i in anchors {
+                        let p = pos.get(i).map(|&p| p as usize).unwrap_or(0);
+                        for t in 0..segment_len.min(n) {
+                            self.crash_adversary(order[(p + t) % n] as usize);
+                        }
+                    }
+                }
+                StrikeKind::Directed { nodes } => {
+                    if prlc_obs::enabled() {
+                        prlc_obs::counter!("net.adversary.strikes").incr();
+                    }
+                    for n in nodes {
+                        self.crash_adversary(n as usize);
                     }
                 }
             }
@@ -299,6 +505,12 @@ impl FaultSession {
     /// hops: attempts transmissions under the link model until one gets
     /// through or the retry budget is spent, advancing the churn
     /// schedule one step per attempt.
+    ///
+    /// Ordering contract (the adversary layer depends on this): strikes
+    /// scheduled after `k` messages fire at the attempt boundary *before*
+    /// transmission `k + 1`, i.e. after exactly `k` transmissions have
+    /// completed — never retroactively. Within one boundary, pending
+    /// strikes fire in `after_messages` order, FIFO among ties.
     ///
     /// This is the single choke point every protocol's messages flow
     /// through, so it also feeds the observability counters
@@ -334,6 +546,13 @@ impl FaultSession {
 
     fn attempt_uncounted(&mut self, dest: NodeId, hops: usize) -> Delivery {
         let timed_out = self.link.timeout_hops.is_some_and(|t| hops > t);
+        // Per-destination loss: an eclipse bias overrides the base link
+        // loss for targeted destinations. With no eclipse armed this is
+        // exactly the base loss and the RNG stream is unchanged.
+        let (eclipsed, loss) = match &self.eclipse {
+            Some(e) if e.targets.get(dest.index()).copied().unwrap_or(false) => (true, e.loss),
+            _ => (false, self.link.loss),
+        };
         let mut attempts = 0usize;
         let mut lost = 0usize;
         let mut cost_hops = 0usize;
@@ -346,9 +565,10 @@ impl FaultSession {
                     cost_hops,
                 };
             }
-            // Churn fires at attempt boundaries, driven by the count of
-            // *completed* transmissions — an event scheduled after k
-            // messages never retroactively kills message k itself.
+            // Churn and adversary strikes fire at attempt boundaries,
+            // driven by the count of *completed* transmissions — an event
+            // scheduled after k messages never retroactively kills
+            // message k itself.
             self.fire_due_events();
             if self.is_down(dest) {
                 return Delivery {
@@ -364,7 +584,10 @@ impl FaultSession {
             if attempts > 1 {
                 cost_hops += self.retry.backoff_hops;
             }
-            let dropped = timed_out || (self.link.loss > 0.0 && self.rng.gen_bool(self.link.loss));
+            if eclipsed && prlc_obs::enabled() {
+                prlc_obs::counter!("net.adversary.eclipse.messages").incr();
+            }
+            let dropped = timed_out || (loss > 0.0 && self.rng.gen_bool(loss));
             if !dropped {
                 return Delivery {
                     outcome: DeliveryOutcome::Delivered,

@@ -20,6 +20,10 @@
 //!   backoff, and churn events interleaved with protocol steps
 //!   ([`FaultPlan`] / [`collect_with_faults`] /
 //!   [`predistribute_with_faults`] / [`refresh_with_faults`]).
+//! * [`adversary`] — structured fault adversaries on top of the fault
+//!   layer: correlated regional outages, collector eclipse, an adaptive
+//!   targeted cache killer, and slow compromise across epochs
+//!   ([`Adversary`] / [`AdversaryPlan`]).
 //! * [`event`] — the deterministic discrete-event runtime the faulty
 //!   entry points run on: a `(tick, seq)`-ordered scheduler executing
 //!   poll-based session state machines with lazily instantiated
@@ -72,6 +76,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod collect;
 pub mod event;
 pub mod fault;
@@ -83,6 +88,9 @@ pub mod ring;
 pub mod rounds;
 pub mod sync;
 
+pub use adversary::{
+    observe_deployment, Adversary, AdversaryPlan, AdversaryStrategy, SlotObservation,
+};
 pub use collect::{collect, collect_with_faults, CollectionConfig, CollectionReport, NodeLocator};
 pub use fault::{
     ChurnEvent, Delivery, DeliveryOutcome, FaultPlan, FaultSession, LinkModel, RetryPolicy,

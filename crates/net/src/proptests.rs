@@ -177,6 +177,143 @@ proptest! {
     }
 
     #[test]
+    fn targeted_adversary_intensity_monotonically_degrades_decoding(
+        seed in 0u64..300,
+        kills in 1usize..12,
+        extra in 1usize..8,
+        focus in 0.0f64..1.0,
+    ) {
+        use prlc_core::{PlcDecoder, PriorityDecoder};
+
+        use crate::adversary::{
+            observe_deployment, Adversary, AdversaryPlan, AdversaryStrategy,
+        };
+
+        let profile = PriorityProfile::new(vec![2, 3, 4]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = RingNetwork::new(40, &mut rng);
+        let sources: Vec<Vec<Gf256>> = vec![Vec::new(); 9];
+        let dep = predistribute(&net, &ProtocolConfig {
+            scheme: Scheme::Plc,
+            profile: profile.clone(),
+            distribution: PriorityDistribution::uniform(3),
+            locations: 25,
+            fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
+            two_choices: true,
+            node_capacity: None,
+            shared_seed: seed,
+        }, &sources, &mut rng).unwrap();
+        let collector = net.random_alive_node(&mut rng).unwrap();
+
+        // Same adversary seed at two kill budgets. Kill lists are built
+        // pick-by-pick on the adversary RNG, so the smaller budget's
+        // list is a prefix of the larger one's: crash sets are nested
+        // and decoding can only get (weakly) worse per run — not just
+        // on average.
+        let mut run_with_kills = |k: usize| {
+            let mut session = FaultPlan::none().session(net.node_count());
+            let mut adv = Adversary::new(AdversaryPlan {
+                strategy: AdversaryStrategy::Targeted { kills: k, focus },
+                after_messages: 0,
+                seed,
+            }, net.node_count());
+            let chosen = adv.arm_observed(&observe_deployment(&dep), &mut session);
+            session.advance_steps(0);
+            let mut dec: PlcDecoder<Gf256, ()> =
+                PlcDecoder::coefficients_only(profile.clone());
+            let mut crng = StdRng::seed_from_u64(seed ^ 0x0517);
+            let _ = collect_with_faults(
+                &net, &dep, &mut dec, collector,
+                &CollectionConfig { target_levels: Some(4) },
+                &mut session, &mut crng,
+            );
+            (chosen, dec.decoded_levels())
+        };
+        let (few_list, few_levels) = run_with_kills(kills);
+        let (many_list, many_levels) = run_with_kills(kills + extra);
+        prop_assert!(many_list.len() >= few_list.len());
+        prop_assert_eq!(&many_list[..few_list.len()], &few_list[..]);
+        prop_assert!(
+            many_levels <= few_levels,
+            "kills {} decoded {} but kills {} decoded {}",
+            kills, few_levels, kills + extra, many_levels
+        );
+        // Level-index monotonicity of the reported survival indicators:
+        // PLC decodes prefixes, so surviving level k+1 implies level k.
+        let survival: Vec<bool> = (1..=3).map(|k| many_levels >= k).collect();
+        for w in survival.windows(2) {
+            prop_assert!(w[0] || !w[1]);
+        }
+    }
+
+    #[test]
+    fn region_adversary_fraction_coupling_is_monotone(
+        seed in 0u64..300,
+        frac_lo in 0.0f64..0.5,
+        bump in 0.0f64..0.5,
+        segment_len in 1usize..6,
+    ) {
+        use prlc_core::{PlcDecoder, PriorityDecoder};
+
+        use crate::adversary::{Adversary, AdversaryPlan, AdversaryStrategy};
+        use crate::fault::FaultSession;
+
+        let profile = PriorityProfile::new(vec![2, 3, 4]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = RingNetwork::new(40, &mut rng);
+        let sources: Vec<Vec<Gf256>> = vec![Vec::new(); 9];
+        let dep = predistribute(&net, &ProtocolConfig {
+            scheme: Scheme::Plc,
+            profile: profile.clone(),
+            distribution: PriorityDistribution::uniform(3),
+            locations: 25,
+            fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
+            two_choices: true,
+            node_capacity: None,
+            shared_seed: seed,
+        }, &sources, &mut rng).unwrap();
+        let collector = net.random_alive_node(&mut rng).unwrap();
+
+        // Same fault seed at two outage intensities. Anchor draws are
+        // snapshotted against the pre-strike down set on the session
+        // RNG, so gen_bool(lo) true implies gen_bool(hi) true on the
+        // same draw: the lo crash set is a subset of the hi crash set.
+        let mut run_with_fraction = |fraction: f64| {
+            let mut session: FaultSession = FaultPlan::none().session(net.node_count());
+            let mut adv = Adversary::new(AdversaryPlan {
+                strategy: AdversaryStrategy::Region { fraction, segment_len },
+                after_messages: 0,
+                seed,
+            }, net.node_count());
+            adv.arm_topology(&net, collector, &mut session);
+            session.advance_steps(0);
+            let down: Vec<bool> =
+                (0..net.node_count()).map(|i| session.is_down(NodeId::new(i))).collect();
+            let mut dec: PlcDecoder<Gf256, ()> =
+                PlcDecoder::coefficients_only(profile.clone());
+            let mut crng = StdRng::seed_from_u64(seed ^ 0x0517);
+            let _ = collect_with_faults(
+                &net, &dep, &mut dec, collector,
+                &CollectionConfig { target_levels: Some(4) },
+                &mut session, &mut crng,
+            );
+            (down, dec.decoded_levels())
+        };
+        let (down_lo, levels_lo) = run_with_fraction(frac_lo);
+        let (down_hi, levels_hi) = run_with_fraction((frac_lo + bump).min(1.0));
+        for i in 0..down_lo.len() {
+            prop_assert!(!down_lo[i] || down_hi[i], "crash sets not nested at node {}", i);
+        }
+        prop_assert!(
+            levels_hi <= levels_lo,
+            "fraction {} decoded {} but fraction {} decoded {}",
+            frac_lo, levels_lo, (frac_lo + bump).min(1.0), levels_hi
+        );
+    }
+
+    #[test]
     fn fanout_counts_are_within_bounds(
         factor in 0.1f64..5.0,
         eligible in 1usize..200,

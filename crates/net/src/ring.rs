@@ -103,6 +103,80 @@ impl RingNetwork {
         b.wrapping_sub(a)
     }
 
+    /// One greedy Chord step from `current` toward `point`: the finger
+    /// that makes the most clockwise progress without overshooting the
+    /// point, falling back to `owner` (the direct successor) when no
+    /// finger precedes the target. `finger[k] = successor(id + 2^k)`,
+    /// computed by binary search instead of a materialised table.
+    fn greedy_next(&self, current: usize, point: u64, owner: usize) -> usize {
+        let cur_id = self.ids[current];
+        let dist = Self::clockwise(cur_id, point);
+        let mut best = None;
+        let mut best_remaining = dist;
+        for k in 0..ID_BITS {
+            let f = self.successor(cur_id.wrapping_add(1u64 << k));
+            if f == current {
+                continue;
+            }
+            let fid = self.ids[f];
+            let advance = Self::clockwise(cur_id, fid);
+            // The finger must not pass the target point.
+            if advance > 0 && advance <= dist {
+                let remaining = Self::clockwise(fid, point);
+                if remaining < best_remaining {
+                    best_remaining = remaining;
+                    best = Some(f);
+                }
+            }
+        }
+        best.unwrap_or(owner)
+    }
+
+    /// Every node index (alive or crashed) in clockwise ring-ID order:
+    /// entry `p` is the node at ring position `p`. This is the adjacency
+    /// a correlated regional outage crashes contiguous segments of.
+    pub fn ring_order(&self) -> Vec<NodeId> {
+        let mut order: Vec<usize> = (0..self.ids.len()).collect();
+        order.sort_unstable_by_key(|&i| self.ids[i]);
+        order.into_iter().map(NodeId::new).collect()
+    }
+
+    /// The distinct alive fingers of `node` — `successor(id + 2^k)` for
+    /// `k` in `0..64`, deduplicated, excluding `node` itself. Every
+    /// nonzero-hop greedy route from `node` leaves through this set
+    /// (including the direct-successor fallback, which is `finger[0]`),
+    /// making it the choke point a collector-eclipse adversary
+    /// concentrates loss on.
+    pub fn finger_neighborhood(&self, node: NodeId) -> Vec<NodeId> {
+        let mut fingers = Vec::new();
+        if self.sorted.is_empty() {
+            return fingers;
+        }
+        let cur_id = self.ids[node.index()];
+        for k in 0..ID_BITS {
+            let f = self.successor(cur_id.wrapping_add(1u64 << k));
+            if f != node.index() && !fingers.contains(&NodeId::new(f)) {
+                fingers.push(NodeId::new(f));
+            }
+        }
+        fingers
+    }
+
+    /// First hop of the greedy route from `from` toward `point`: `None`
+    /// when `from` owns the point (zero-hop route) or cannot route. The
+    /// hop is always a member of `from`'s [finger
+    /// neighborhood](Self::finger_neighborhood).
+    pub fn first_hop(&self, from: NodeId, point: u64) -> Option<NodeId> {
+        if !self.alive[from.index()] || self.sorted.is_empty() {
+            return None;
+        }
+        let owner = self.successor(point);
+        if owner == from.index() {
+            return None;
+        }
+        Some(NodeId::new(self.greedy_next(from.index(), point, owner)))
+    }
+
     /// Fails every alive node whose ID falls in the clockwise arc of
     /// `fraction` of the ring starting at `start` — a correlated-failure
     /// model (e.g. a region of the ID space assigned to one data centre
@@ -167,42 +241,8 @@ impl Network for RingNetwork {
             if hops > MAX_HOPS {
                 return None; // inconsistent routing state
             }
-            // Greedy Chord step: the finger that makes the most clockwise
-            // progress toward `point` without overshooting the owner.
-            // finger[k] = successor(id + 2^k), computed by binary search
-            // instead of a materialised table.
-            let cur_id = self.ids[current];
-            let dist = Self::clockwise(cur_id, point);
-            let mut best = None;
-            let mut best_remaining = dist;
-            for k in 0..ID_BITS {
-                let f = self.successor(cur_id.wrapping_add(1u64 << k));
-                if f == current {
-                    continue;
-                }
-                let fid = self.ids[f];
-                let advance = Self::clockwise(cur_id, fid);
-                // The finger must not pass the target point.
-                if advance > 0 && advance <= dist {
-                    let remaining = Self::clockwise(fid, point);
-                    if remaining < best_remaining {
-                        best_remaining = remaining;
-                        best = Some(f);
-                    }
-                }
-            }
-            match best {
-                Some(next) => {
-                    current = next;
-                    hops += 1;
-                }
-                None => {
-                    // No finger precedes the target: the owner is our
-                    // direct successor — one final hop.
-                    current = owner;
-                    hops += 1;
-                }
-            }
+            current = self.greedy_next(current, point, owner);
+            hops += 1;
         }
         Some(Route {
             owner: NodeId::new(owner),

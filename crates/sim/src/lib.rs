@@ -8,6 +8,9 @@
 //!   Growth-Codes baselines;
 //! * [`lossy`] — collection re-run over a fault-injected transport
 //!   (loss rate × retry budget sweeps via [`prlc_net::FaultPlan`]);
+//! * [`adversarial`] — per-epoch decoding degradation under structured
+//!   fault adversaries (regional outage, collector eclipse, targeted
+//!   cache killer, slow compromise via [`prlc_net::Adversary`]);
 //! * [`stats`] — means and 95% confidence intervals ("the average and
 //!   the 95% confidence intervals from 100 independent experiments");
 //! * [`runner`] — seed-split, order-deterministic parallel execution;
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod experiments;
 pub mod lossy;
 pub mod metadata;
@@ -48,6 +52,10 @@ pub mod stats;
 pub mod table;
 pub mod timeline;
 
+pub use adversarial::{
+    adversary_results_json, simulate_adversary_sweep, simulate_adversary_sweep_with_threads,
+    AdversaryEpoch, AdversarySweepConfig,
+};
 pub use experiments::{
     growth_levels, simulate_decoding_curve, simulate_decoding_curve_with_threads,
     simulate_survivability, simulate_survivability_with_threads, CurveConfig, DecodingCurve,

@@ -1,0 +1,319 @@
+//! Closed-form cross-validation of the structured adversary layer
+//! (`prlc-net::adversary`): where a strategy degenerates to an
+//! analyzable process, its measured behaviour must match the analysis.
+//!
+//! * Region outage with segment length 1 *is* iid churn — it must
+//!   byte-match a [`ChurnEvent`] run on the same fault-RNG domain, all
+//!   the way through a predistribute → crash → collect pipeline.
+//! * Targeted killing with `focus = 0` is a uniform fixed-kill-count
+//!   process: the survivors are a hypergeometric (uniform
+//!   without-replacement) sample, so per-level decode frequencies must
+//!   match `curves::survival` evaluated at `M - K` blocks.
+//! * The same uniform-kill process applied to an `r`-replicated object
+//!   set must reproduce the replicated-erasure-codes persistency form
+//!   `Pr(object lost) = C(M-r, K-r) / C(M, K)`.
+
+use prlc::net::{
+    collect_with_faults, observe_deployment, predistribute_with_faults, Adversary, AdversaryPlan,
+    AdversaryStrategy, ChurnEvent, Deployment, FaultPlan, LinkModel, RetryPolicy, SlotObservation,
+    StorageSlot,
+};
+use prlc::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One predistribute → strike → collect pipeline over a 64-node ring.
+/// With `adversary = false`, the strike is a plan-level [`ChurnEvent`];
+/// with `adversary = true`, it is a region strike of segment length 1
+/// armed for the same step. Everything else is identical.
+fn seg1_pipeline(adversary: bool, seed: u64) -> (String, usize, String, usize, usize, u64) {
+    let profile = PriorityProfile::new(vec![2, 3]).unwrap();
+    let dist = PriorityDistribution::uniform(2);
+    let nodes = 64usize;
+    let fraction = 0.3f64;
+    let after_messages = 40usize;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = RingNetwork::new(nodes, &mut rng);
+    let churn = if adversary {
+        Vec::new()
+    } else {
+        vec![ChurnEvent {
+            after_messages,
+            fraction,
+        }]
+    };
+    let plan = FaultPlan {
+        link: LinkModel {
+            loss: 0.2,
+            timeout_hops: None,
+        },
+        retry: RetryPolicy::with_retries(2, 1),
+        churn,
+        seed: 5,
+    };
+    let mut session = plan.session(nodes);
+    if adversary {
+        // Armed before any message flows, so the strike's absolute step
+        // equals the churn event's `after_messages`. The adversary's own
+        // seed is irrelevant here: region anchor draws come from the
+        // session's fault RNG, exactly where churn draws come from.
+        let mut adv = Adversary::new(
+            AdversaryPlan {
+                strategy: AdversaryStrategy::Region {
+                    fraction,
+                    segment_len: 1,
+                },
+                after_messages,
+                seed: 0xDEAD,
+            },
+            nodes,
+        );
+        adv.arm_topology(&net, NodeId::new(0), &mut session);
+    }
+
+    let sources: Vec<Vec<Gf256>> = vec![Vec::new(); profile.total_blocks()];
+    let dep = predistribute_with_faults(
+        &net,
+        &ProtocolConfig {
+            scheme: Scheme::Plc,
+            profile: profile.clone(),
+            distribution: dist,
+            locations: 25,
+            fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
+            two_choices: true,
+            node_capacity: None,
+            shared_seed: seed,
+        },
+        &sources,
+        &mut session,
+        &mut rng,
+    )
+    .unwrap();
+
+    let collector = net.random_alive_node(&mut rng).unwrap();
+    let mut dec: PlcDecoder<Gf256, ()> = PlcDecoder::coefficients_only(profile);
+    let report = collect_with_faults(
+        &net,
+        &dep,
+        &mut dec,
+        collector,
+        &CollectionConfig::default(),
+        &mut session,
+        &mut rng,
+    );
+    (
+        format!("{:?}", dep.slots()),
+        dec.decoded_levels(),
+        format!("{report:?}"),
+        session.crashed_nodes(),
+        session.steps(),
+        rng.gen::<u64>(),
+    )
+}
+
+/// Region outage with `segment_len == 1` degenerates to iid churn: the
+/// whole pipeline — deployment, crash set, collection report, decode
+/// result, protocol-RNG end state — byte-matches a `ChurnEvent` run of
+/// the same fraction on the same fault seed. (Observability keys differ
+/// by design: the adversary emits `net.adversary.*`, churn emits
+/// `net.churn.*` — this comparison is about protocol state.)
+#[test]
+fn region_segment_one_byte_matches_iid_churn() {
+    for seed in [11u64, 12, 13, 14] {
+        let churn_run = seg1_pipeline(false, seed);
+        let region_run = seg1_pipeline(true, seed);
+        assert_eq!(churn_run, region_run, "seed {seed}");
+        // The strike actually did something in at least one pipeline
+        // stage — otherwise this test proves nothing.
+        assert!(churn_run.3 > 0, "seed {seed}: nothing crashed");
+    }
+}
+
+/// Targeted killing with `focus = 0` crashes a uniform without-
+/// replacement sample of K caches. Over iid one-block-per-node
+/// deployments the survivors are then a uniform (M-K)-subset of M iid
+/// slots — i.e. exactly the iid sampling model behind
+/// `curves::survival` evaluated at `m = M - K` delivered blocks. The
+/// empirical per-level decode frequency must match within binomial-CI
+/// tolerance.
+#[test]
+fn targeted_focus_zero_matches_hypergeometric_survival() {
+    let profile = PriorityProfile::new(vec![2, 2]).unwrap();
+    let n = profile.num_levels();
+    let dist = PriorityDistribution::from_weights(vec![0.45, 0.55]).unwrap();
+    let opts = AnalysisOptions::rank_exact(256.0);
+    let nodes = 32usize;
+    let locations = 12usize; // M
+    let kills = 4usize; // K
+    let runs = 400usize;
+
+    for scheme in [Scheme::Slc, Scheme::Plc] {
+        let encoder = Encoder::new(scheme, profile.clone());
+        let mut empirical = vec![0.0f64; n + 1];
+        for run in 0..runs as u64 {
+            let mut rng = StdRng::seed_from_u64(0x00AD_5EED + run);
+            let net = RingNetwork::new(nodes, &mut rng);
+            use rand::seq::SliceRandom;
+            let mut ids: Vec<usize> = (0..nodes).collect();
+            ids.shuffle(&mut rng);
+            let slots: Vec<StorageSlot<Gf256>> = ids[..locations]
+                .iter()
+                .map(|&node| {
+                    let level = dist.sample_level(&mut rng);
+                    StorageSlot {
+                        node: NodeId::new(node),
+                        level,
+                        block: encoder.encode_unpayloaded(level, &mut rng),
+                    }
+                })
+                .collect();
+            let dep = Deployment::from_slots(slots, profile.clone());
+
+            let mut session = FaultPlan::none().session(nodes);
+            let mut adv = Adversary::new(
+                AdversaryPlan {
+                    strategy: AdversaryStrategy::Targeted { kills, focus: 0.0 },
+                    after_messages: 0,
+                    seed: run,
+                },
+                nodes,
+            );
+            let chosen = adv.arm_observed(&observe_deployment(&dep), &mut session);
+            assert_eq!(chosen.len(), kills);
+            session.advance_steps(0); // fire the strike at the boundary
+
+            // Collect from a non-caching node (never a kill candidate),
+            // with early stopping disabled so every surviving block is
+            // delivered.
+            let collector = NodeId::new(ids[locations]);
+            let cfg = CollectionConfig {
+                target_levels: Some(n + 1),
+            };
+            let levels = match scheme {
+                Scheme::Slc => {
+                    let mut dec: SlcDecoder<Gf256, ()> =
+                        SlcDecoder::coefficients_only(profile.clone());
+                    let r = collect_with_faults(
+                        &net,
+                        &dep,
+                        &mut dec,
+                        collector,
+                        &cfg,
+                        &mut session,
+                        &mut rng,
+                    )
+                    .unwrap();
+                    assert_eq!(r.blocks_collected, locations - kills);
+                    dec.decoded_levels()
+                }
+                _ => {
+                    let mut dec: PlcDecoder<Gf256, ()> =
+                        PlcDecoder::coefficients_only(profile.clone());
+                    let r = collect_with_faults(
+                        &net,
+                        &dep,
+                        &mut dec,
+                        collector,
+                        &cfg,
+                        &mut session,
+                        &mut rng,
+                    )
+                    .unwrap();
+                    assert_eq!(r.blocks_collected, locations - kills);
+                    dec.decoded_levels()
+                }
+            };
+            for (k, count) in empirical.iter_mut().enumerate().skip(1) {
+                if levels >= k {
+                    *count += 1.0;
+                }
+            }
+        }
+        for (k, count) in empirical.iter().enumerate().skip(1) {
+            let emp = count / runs as f64;
+            let ana = curves::survival(scheme, &profile, &dist, locations - kills, k, &opts);
+            // 3σ binomial CI on the empirical frequency, plus a small
+            // model-mismatch allowance (same tolerance as the iid-loss
+            // cross-validation).
+            let p = ana.clamp(0.05, 0.95);
+            let tol = 3.0 * (p * (1.0 - p) / runs as f64).sqrt() + 0.03;
+            assert!(
+                (emp - ana).abs() < tol,
+                "{scheme} Pr(X>={k}): empirical {emp:.4} vs analytic {ana:.4} (tol {tol:.4})"
+            );
+        }
+    }
+}
+
+/// Exact binomial coefficient over f64 (small arguments only).
+fn binom(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let mut out = 1.0f64;
+    for i in 0..k.min(n - k) {
+        out = out * (n - i) as f64 / (i + 1) as f64;
+    }
+    out
+}
+
+/// The uniform-kill process behind `focus = 0` reproduces the
+/// replicated-erasure-codes persistency closed form: with B objects
+/// stored as r replicas each on M = B·r distinct nodes, killing K nodes
+/// uniformly loses an object with probability C(M-r, K-r) / C(M, K)
+/// (the fraction of K-subsets covering all r of its replicas).
+#[test]
+fn targeted_focus_zero_matches_replication_persistency() {
+    let objects = 5usize; // B
+    let replicas = 3usize; // r
+    let nodes = objects * replicas; // M = 15
+    let kills = 10usize; // K
+    let runs = 600usize;
+
+    // Observation list: node b*r + j caches replica j of object b. All
+    // replicas share a level — the adversary sees nothing to focus on,
+    // and focus = 0 ignores values anyway.
+    let observations: Vec<SlotObservation> = (0..nodes)
+        .map(|i| SlotObservation {
+            node: NodeId::new(i),
+            level: 1,
+        })
+        .collect();
+
+    let mut dead_fraction_sum = 0.0f64;
+    for run in 0..runs as u64 {
+        let mut session = FaultPlan::none().session(nodes);
+        let mut adv = Adversary::new(
+            AdversaryPlan {
+                strategy: AdversaryStrategy::Targeted { kills, focus: 0.0 },
+                after_messages: 0,
+                seed: 0x5EED + run,
+            },
+            nodes,
+        );
+        let chosen = adv.arm_observed(&observations, &mut session);
+        assert_eq!(chosen.len(), kills);
+        session.advance_steps(0);
+        assert_eq!(session.crashed_nodes(), kills);
+
+        let mut dead = 0usize;
+        for b in 0..objects {
+            let survives = (0..replicas).any(|j| !session.is_down(NodeId::new(b * replicas + j)));
+            if !survives {
+                dead += 1;
+            }
+        }
+        dead_fraction_sum += dead as f64 / objects as f64;
+    }
+    let empirical = dead_fraction_sum / runs as f64;
+    let analytic = binom(nodes - replicas, kills - replicas) / binom(nodes, kills);
+    // Per-run dead fractions are iid in [0,1]; 3σ on their mean plus a
+    // small allowance covers the within-run correlation.
+    let tol = 3.0 * (0.25f64 / runs as f64).sqrt() + 0.01;
+    assert!(
+        (empirical - analytic).abs() < tol,
+        "Pr(object lost): empirical {empirical:.4} vs analytic {analytic:.4} (tol {tol:.4})"
+    );
+}

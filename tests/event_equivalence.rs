@@ -11,9 +11,10 @@
 //! or observability emission shows up as a byte diff here.
 
 use prlc::net::{
-    collect_with_faults, predistribute_with_faults, refresh_with_faults, sync, ChurnEvent,
-    CollectionConfig, FaultPlan, LinkModel, Network, ProtocolConfig, RefreshConfig, RetryPolicy,
-    RingNetwork, SourceFanout,
+    collect_with_faults, observe_deployment, predistribute_with_faults, refresh_with_faults, sync,
+    Adversary, AdversaryPlan, AdversaryStrategy, ChurnEvent, CollectionConfig, FaultPlan,
+    LinkModel, Network, NodeId, ProtocolConfig, RefreshConfig, RetryPolicy, RingNetwork,
+    SourceFanout,
 };
 use prlc::obs;
 use prlc::prelude::*;
@@ -46,6 +47,7 @@ fn run_pipeline(
     seed: u64,
     nodes: usize,
     sync_path: bool,
+    adversary: bool,
 ) -> PipelineOutput {
     obs::enable();
     obs::trace::enable();
@@ -71,6 +73,35 @@ fn run_pipeline(
     };
     let mut session = plan.clone().session(net.node_count());
 
+    // Topology-armed adversaries (regional outage + collector eclipse)
+    // go in before any protocol traffic, like a real pre-positioned
+    // attacker. Adversary strikes and eclipse bias live inside the
+    // shared `FaultSession`, so both runtime paths must replay them
+    // byte-identically.
+    if adversary {
+        let mut region = Adversary::new(
+            AdversaryPlan {
+                strategy: AdversaryStrategy::Region {
+                    fraction: 0.05,
+                    segment_len: 3,
+                },
+                after_messages: 60,
+                seed: seed ^ 0xA1,
+            },
+            net.node_count(),
+        );
+        region.arm_topology(&net, NodeId::new(0), &mut session);
+        let mut eclipse = Adversary::new(
+            AdversaryPlan {
+                strategy: AdversaryStrategy::Eclipse { loss: 0.4 },
+                after_messages: 0,
+                seed: seed ^ 0xA2,
+            },
+            net.node_count(),
+        );
+        eclipse.arm_topology(&net, NodeId::new(0), &mut session);
+    }
+
     let mut dep = if sync_path {
         sync::predistribute_with_faults(&net, &cfg, &sources, &mut session, &mut rng)
     } else {
@@ -81,6 +112,32 @@ fn run_pipeline(
 
     net.fail_uniform(0.3, &mut rng);
     assert!(net.alive_count() > 0, "seed killed the whole overlay");
+
+    // Observation-armed adversaries (targeted cache killer + slow
+    // compromise) act on the deployed slot metadata before repair.
+    if adversary {
+        let mut targeted = Adversary::new(
+            AdversaryPlan {
+                strategy: AdversaryStrategy::Targeted {
+                    kills: 5,
+                    focus: 0.7,
+                },
+                after_messages: 30,
+                seed: seed ^ 0xA3,
+            },
+            net.node_count(),
+        );
+        targeted.arm_observed(&observe_deployment(&dep), &mut session);
+        let mut creep = Adversary::new(
+            AdversaryPlan {
+                strategy: AdversaryStrategy::Creep { per_epoch: 0.02 },
+                after_messages: 0,
+                seed: seed ^ 0xA4,
+            },
+            net.node_count(),
+        );
+        creep.advance_epoch(&mut session);
+    }
 
     let refresh_cfg = RefreshConfig {
         scheme,
@@ -175,12 +232,22 @@ fn lossy_plan(seed: u64) -> FaultPlan {
 }
 
 fn assert_equivalent(scheme: Scheme, plan: &FaultPlan, seed: u64, nodes: usize) {
-    let event = run_pipeline(scheme, plan, seed, nodes, false);
-    let sync = run_pipeline(scheme, plan, seed, nodes, true);
+    let event = run_pipeline(scheme, plan, seed, nodes, false, false);
+    let sync = run_pipeline(scheme, plan, seed, nodes, true, false);
     assert_eq!(
         event, sync,
         "event runtime diverged from the synchronous reference \
          ({scheme:?}, nodes {nodes}, seed {seed})"
+    );
+}
+
+fn assert_equivalent_adversarial(scheme: Scheme, plan: &FaultPlan, seed: u64, nodes: usize) {
+    let event = run_pipeline(scheme, plan, seed, nodes, false, true);
+    let sync = run_pipeline(scheme, plan, seed, nodes, true, true);
+    assert_eq!(
+        event, sync,
+        "event runtime diverged from the synchronous reference under an \
+         adversary plan ({scheme:?}, nodes {nodes}, seed {seed})"
     );
 }
 
@@ -197,6 +264,20 @@ fn event_path_matches_sync_path_under_faults() {
     let _guard = GUARD.lock().unwrap();
     for scheme in [Scheme::Slc, Scheme::Plc] {
         assert_equivalent(scheme, &lossy_plan(7), 12, 200);
+    }
+}
+
+/// All four adversary strategies at once — pre-positioned region +
+/// eclipse, deployment-observed targeted killer, and one creep epoch —
+/// on top of a lossy plan. Adversary strikes, eclipse bias, and the
+/// `net.adversary.*` emission all live in the shared fault session, so
+/// reports, metrics JSON, and trace JSON must byte-match across paths.
+#[test]
+fn event_path_matches_sync_path_under_adversary_plan() {
+    let _guard = GUARD.lock().unwrap();
+    for scheme in [Scheme::Slc, Scheme::Plc] {
+        assert_equivalent_adversarial(scheme, &lossy_plan(9), 14, 200);
+        assert_equivalent_adversarial(scheme, &FaultPlan::none(), 14, 200);
     }
 }
 

@@ -18,8 +18,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use prlc::net::{
-    collect_with_faults, predistribute_with_faults, refresh_with_faults, ChurnEvent, FaultPlan,
-    LinkModel, RefreshConfig, RetryPolicy,
+    collect_with_faults, observe_deployment, predistribute_with_faults, refresh_with_faults,
+    Adversary, AdversaryPlan, AdversaryStrategy, ChurnEvent, FaultPlan, LinkModel, NodeId,
+    RefreshConfig, RetryPolicy,
 };
 use prlc::sim::{
     simulate_decoding_curve, simulate_persistence_timeline, CurveConfig, Persistence,
@@ -122,6 +123,81 @@ fn refresh_round(seed: u64) {
     assert!(report.is_some(), "network still has alive nodes");
 }
 
+/// A deployment attacked by all four adversary strategies — executes
+/// the `net.adversary.*` instrumentation in `fault.rs`: strike events
+/// (region + directed), adversary crashes, creep compromise, and the
+/// per-transmission eclipse loss bias during collection.
+fn adversary_round(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = RingNetwork::new(40, &mut rng);
+    let profile = PriorityProfile::new(vec![2, 3]).expect("valid profile");
+    let data: Vec<Vec<Gf256>> = vec![Vec::new(); profile.total_blocks()];
+    let mut faults = FaultPlan::none().session(net.node_count());
+    let dep = predistribute_with_faults(
+        &net,
+        &ProtocolConfig {
+            scheme: Scheme::Plc,
+            profile: profile.clone(),
+            distribution: PriorityDistribution::uniform(2),
+            locations: 20,
+            fanout: SourceFanout::All,
+            coeff_rep: CoeffRep::Dense,
+            two_choices: true,
+            node_capacity: None,
+            shared_seed: seed,
+        },
+        &data,
+        &mut faults,
+        &mut rng,
+    )
+    .expect("predistribution on a fresh network succeeds");
+
+    let collector = NodeId::new(0);
+    let strategies = [
+        AdversaryStrategy::Region {
+            fraction: 0.3,
+            segment_len: 2,
+        },
+        AdversaryStrategy::Eclipse { loss: 0.6 },
+        AdversaryStrategy::Targeted {
+            kills: 3,
+            focus: 1.0,
+        },
+        AdversaryStrategy::Creep { per_epoch: 0.3 },
+    ];
+    for (i, strategy) in strategies.into_iter().enumerate() {
+        let mut adv = Adversary::new(
+            AdversaryPlan {
+                strategy,
+                after_messages: 0,
+                seed: seed ^ i as u64,
+            },
+            net.node_count(),
+        );
+        adv.arm_topology(&net, collector, &mut faults);
+        adv.arm_observed(&observe_deployment(&dep), &mut faults);
+        adv.advance_epoch(&mut faults);
+    }
+    faults.advance_steps(0);
+    // Collect from a survivor: every destination except node 0 carries
+    // the eclipse bias, so the queries themselves fire
+    // `net.adversary.eclipse.messages`.
+    let surviving_collector = (0..net.node_count())
+        .map(NodeId::new)
+        .find(|n| !faults.is_down(*n))
+        .expect("bounded strikes leave survivors");
+    let mut dec: PlcDecoder<Gf256, ()> = PlcDecoder::coefficients_only(profile);
+    let _ = collect_with_faults(
+        &net,
+        &dep,
+        &mut dec,
+        surviving_collector,
+        &CollectionConfig::default(),
+        &mut faults,
+        &mut rng,
+    );
+}
+
 /// Decoding-curve rounds for both priority schemes — executes the
 /// encoder, decoder, progressive-RREF and runner instrumentation.
 /// `max_blocks` comfortably exceeds the profile size so redundant rows
@@ -207,6 +283,7 @@ fn every_documented_key_registers_at_runtime() {
     net_round(14, 0.5, 3, 0.0);
     refresh_round(13);
     timeline_round(15);
+    adversary_round(16);
 
     let snap = obs::snapshot();
     let trace_snap = obs::trace::snapshot();
