@@ -56,7 +56,7 @@ fn main() {
         eprintln!("[ablation_refresh] {name} ...");
         let mut cfg = base.clone();
         cfg.repair_donors = donors;
-        results.push(simulate_persistence_timeline::<Gf256>(&cfg));
+        results.push(simulate_persistence_timeline::<Gf256>(&cfg).expect("timeline simulation"));
     }
 
     let mut table = Table::new(["epoch", "no repair", "repair r=2", "repair r=4"]);

@@ -109,8 +109,9 @@ number of coded blocks consumed when each priority level unlocked.
 --out additionally exports the raw trace like `sim --trace`.
 
 `lint` runs the workspace invariant lints (determinism, unsafe-audit,
-metric-key registry, RNG domain separation, panic hygiene) over the
-repository sources. --root defaults to the nearest enclosing workspace;
+metric-key registry, RNG domain separation, panic hygiene, RNG-domain
+registry, kernel-dispatch audit) over the repository sources. --root
+defaults to the nearest enclosing workspace;
 --allowlist defaults to <root>/lint-allowlist.txt. JSON output is
 deterministic (sorted findings, no timestamps). Exits nonzero when
 findings remain.
@@ -1001,7 +1002,8 @@ fn cmd_sim_timeline(
         runs,
         seed,
     };
-    let summaries = simulate_persistence_timeline_with_threads::<Gf256>(&cfg, threads);
+    let summaries = simulate_persistence_timeline_with_threads::<Gf256>(&cfg, threads)
+        .map_err(|e| format!("timeline simulation failed: {e}"))?;
 
     let mut table = Table::new(["epoch", "levels", "ci95"]);
     for (epoch, s) in summaries.iter().enumerate() {
@@ -1098,7 +1100,8 @@ fn cmd_sim_lossy(
         &losses,
         &retry_budgets,
         threads,
-    );
+    )
+    .map_err(|e| format!("lossy-collection sweep failed: {e}"))?;
 
     let mut table = Table::new([
         "loss", "retries", "levels", "ci95", "lost", "resent", "gave-up", "hops",

@@ -126,9 +126,11 @@ impl SimdLevel {
     }
 }
 
-/// Runtime CPU feature detection for the SIMD kernels.
+/// Runtime CPU feature detection for the SIMD kernels. Under Miri the
+/// intrinsics are unsupported, so detection reports no SIMD and every
+/// kernel path stays on the interpretable scalar/table implementations.
 fn detect_simd() -> Option<SimdLevel> {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         if std::is_x86_feature_detected!("avx2") {
             return Some(SimdLevel::Avx2);
@@ -138,14 +140,14 @@ fn detect_simd() -> Option<SimdLevel> {
         }
         None
     }
-    #[cfg(target_arch = "aarch64")]
+    #[cfg(all(target_arch = "aarch64", not(miri)))]
     {
         if std::arch::is_aarch64_feature_detected!("neon") {
             return Some(SimdLevel::Neon);
         }
         None
     }
-    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[cfg(any(not(any(target_arch = "x86_64", target_arch = "aarch64")), miri))]
     {
         None
     }

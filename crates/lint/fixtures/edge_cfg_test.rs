@@ -1,0 +1,26 @@
+//! Edge fixture: test-gated regions keep their relaxed rules even in a
+//! Lib-classified file — `unwrap` and `HashMap` below are all inside
+//! `#[cfg(test)]` / `#[test]` items.
+
+pub fn lib_side(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn relaxed_rules_inside_tests() {
+        let mut m = HashMap::new();
+        m.insert(1u8, 2u8);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+        assert_eq!(lib_side(None), 0);
+    }
+}
+
+#[cfg(test)]
+fn helper_only_for_tests(r: Result<u8, u8>) -> u8 {
+    r.expect("test-only helper may panic")
+}

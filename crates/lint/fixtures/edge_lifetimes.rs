@@ -1,0 +1,19 @@
+//! Edge fixture: lifetimes next to char literals. A lexer that
+//! mistakes `'a` for an unterminated char literal swallows the rest of
+//! the file and silently stops linting it.
+
+pub struct Holder<'a> {
+    inner: &'a [u8],
+}
+
+pub fn first<'a>(h: &'a Holder<'a>) -> Option<&'a u8> {
+    let quote = '"';
+    let escaped = '\'';
+    let brace = '{';
+    let _ = (quote, escaped, brace);
+    h.inner.first()
+}
+
+pub fn static_str() -> &'static str {
+    "past the lifetimes, still lexing"
+}

@@ -1,0 +1,22 @@
+//! Edge fixture: every lint's trigger spelled inside string/char
+//! literal forms. A text-matching scanner fires all over this file; a
+//! lexer stays silent.
+
+pub fn decoys() -> Vec<&'static str> {
+    let plain = "use std::collections::HashMap; let t = Instant::now();";
+    let raw = r#"thread_rng().gen(); rand::random(); x.unwrap();"#;
+    let hashed = r##"a raw string with "#embedded quotes#" and { one unbalanced brace"##;
+    let bytes: &[u8] = b"unsafe { *p } // no SAFETY: comment";
+    let raw_bytes: &[u8] = br#"StdRng::seed_from_u64(seed) y.expect("boom")"#;
+    let escaped = "quote \" then HashSet and SystemTime::now()";
+    let _ = (bytes, raw_bytes);
+    vec![plain, raw, hashed, escaped]
+}
+
+pub fn loop_with_decoy_calls() -> usize {
+    let mut n = 0;
+    for line in ["acc = acc.gf_add(a[i].gf_mul(b[i]));", "x.gf_div(y)"] {
+        n += line.len();
+    }
+    n
+}

@@ -1,0 +1,11 @@
+//! L1 fixture (bad): iteration-order-dependent container in library code.
+
+use std::collections::HashMap;
+
+pub fn histogram(values: &[u32]) -> HashMap<u32, usize> {
+    let mut out = HashMap::new();
+    for &v in values {
+        *out.entry(v).or_insert(0) += 1;
+    }
+    out
+}

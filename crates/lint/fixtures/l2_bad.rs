@@ -1,0 +1,5 @@
+//! L2 fixture (bad): `unsafe` with no adjacent SAFETY comment.
+
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}

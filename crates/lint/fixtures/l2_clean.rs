@@ -1,0 +1,6 @@
+//! L2 fixture (clean): `unsafe` documented within the safety window.
+
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points to at least one readable byte.
+    unsafe { *p }
+}

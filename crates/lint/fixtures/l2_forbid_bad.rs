@@ -1,0 +1,7 @@
+//! L2b fixture (bad): a crate root missing `#![forbid(unsafe_code)]`.
+
+pub mod inner {
+    pub fn id(x: u8) -> u8 {
+        x
+    }
+}

@@ -1,0 +1,9 @@
+//! L2b fixture (clean): a crate root that forbids unsafe code.
+
+#![forbid(unsafe_code)]
+
+pub mod inner {
+    pub fn id(x: u8) -> u8 {
+        x
+    }
+}

@@ -1,0 +1,5 @@
+//! L3 fixture (bad): emits a metric key no registry row documents.
+
+pub fn record(n: u64) {
+    prlc_obs::counter!("core.bogus.unregistered", n);
+}

@@ -1,0 +1,5 @@
+//! L3 fixture (clean): emits exactly the registered fixture key.
+
+pub fn record(n: u64) {
+    prlc_obs::counter!("core.decode.blocks", n);
+}

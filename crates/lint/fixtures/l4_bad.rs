@@ -1,0 +1,9 @@
+//! L4 fixture (bad): prlc-net code seeding an RNG with no `mix_*`
+//! domain-separation helper inside the seed argument.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,9 @@
+//! L5 fixture (bad): panicking extractors in library code.
+
+pub fn take(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn must(r: Result<u8, u8>) -> u8 {
+    r.expect("fixture invariant")
+}

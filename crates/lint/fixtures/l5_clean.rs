@@ -1,0 +1,10 @@
+//! L5 fixture (clean): errors propagate instead of panicking.
+
+pub fn take(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+pub fn must(r: Result<u8, u8>) -> Result<u8, u8> {
+    let v = r?;
+    Ok(v)
+}

@@ -1,0 +1,11 @@
+//! L6 fixture (bad): a `mix_*` helper whose constant decodes to no
+//! printable ASCII tag, plus an ad-hoc domain tag XORed inline at a
+//! call site instead of being hoisted into a helper.
+
+fn mix_opaque_seed(seed: u64) -> u64 {
+    seed ^ 0x9E37_79B9_7F4A_7C15
+}
+
+pub fn ad_hoc(seed: u64) -> u64 {
+    mix_opaque_seed(seed ^ 0x4C4F_5353)
+}

@@ -1,0 +1,17 @@
+//! L6 fixture (clean): one registered tag per helper, quoted in a
+//! same-line comment, with no inline tags at call sites.
+
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix_fixture_seed(seed: u64) -> u64 {
+    splitmix64(seed ^ 0x4649_5854) // "FIXT"
+}
+
+pub fn derive(seed: u64) -> u64 {
+    mix_fixture_seed(seed)
+}

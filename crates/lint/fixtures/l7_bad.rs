@@ -1,0 +1,12 @@
+//! L7 fixture (bad): scalar GF arithmetic inside a hot-crate loop —
+//! per-element trait dispatch where the slice kernels should run.
+
+use prlc_gf::GfElem;
+
+pub fn dot_scalar<F: GfElem>(a: &[F], b: &[F]) -> F {
+    let mut acc = F::zero();
+    for i in 0..a.len() {
+        acc = acc.gf_add(a[i].gf_mul(b[i]));
+    }
+    acc
+}

@@ -1,0 +1,17 @@
+//! L7 fixture (clean): slice-level work goes through the dispatched
+//! kernels; scalar calls appear only outside loops (pivot arithmetic).
+
+use prlc_gf::GfElem;
+
+pub fn dot_kernel<F: GfElem>(a: &[F], b: &[F]) -> F {
+    F::dot(a, b)
+}
+
+pub fn normalize_row<F: GfElem>(row: &mut [F], pivot: F) {
+    let inv = pivot.gf_inv();
+    F::scale(row, inv);
+}
+
+pub fn single_product<F: GfElem>(a: F, b: F) -> F {
+    a.gf_mul(b)
+}

@@ -1,7 +1,7 @@
 //! `prlc-lint`: zero-dependency workspace invariant linter.
 //!
-//! Walks the workspace's Rust sources with a purely lexical scanner
-//! (see [`scan`]) and enforces the repo-specific invariants that the
+//! Lexes the workspace's Rust sources into token trees (see [`lexer`]
+//! and [`tree`]) and enforces the repo-specific invariants that the
 //! PRLC reproduction's headline claims rest on:
 //!
 //! * **L1 determinism** — no nondeterministic containers, clocks or
@@ -13,7 +13,11 @@
 //! * **L4 RNG domain-separation** — seeded RNG in `prlc-net` goes
 //!   through the `mix_*` helpers;
 //! * **L5 panic-hygiene** — no `unwrap()`/`expect()` in library code
-//!   outside the reviewed allowlist.
+//!   outside the reviewed allowlist;
+//! * **L6 RNG-domain registry** — every `mix_*` domain tag is unique
+//!   and documented in the canonical `docs/RNG_DOMAINS.md` table;
+//! * **L7 kernel-dispatch** — no scalar GF arithmetic in hot-crate
+//!   loops bypassing the `GfKernel` slice layer.
 //!
 //! The linter itself must be beyond suspicion, so it depends on nothing
 //! but `std` (not even the workspace shims) and its output is fully
@@ -22,27 +26,32 @@
 
 #![forbid(unsafe_code)]
 
+pub mod lexer;
 pub mod lints;
 pub mod registry;
-pub mod scan;
+pub mod tree;
 
 use lints::{Finding, Lint};
-use scan::{classify, SourceFile};
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use tree::{classify, SourceModel};
 
 /// Default allowlist file name, resolved relative to the workspace root.
 pub const DEFAULT_ALLOWLIST: &str = "lint-allowlist.txt";
 
-/// Registry document path, relative to the workspace root.
+/// Metric registry document path, relative to the workspace root.
 pub const METRICS_DOC: &str = "docs/METRICS.md";
+
+/// RNG-domain registry document path, relative to the workspace root.
+pub const RNG_DOMAINS_DOC: &str = "docs/RNG_DOMAINS.md";
 
 /// Directory names never descended into during the workspace walk.
 /// `shims/` holds vendored stand-ins for external crates and is not
-/// ours to police.
-const SKIP_DIRS: &[&str] = &["target", "shims", "docs", "results"];
+/// ours to police; `fixtures/` holds deliberately-bad lint corpus
+/// snippets that must only be scanned by the fixture tests.
+const SKIP_DIRS: &[&str] = &["target", "shims", "docs", "results", "fixtures"];
 
 /// One parsed allowlist entry: `<lint> <path> <token> # justification`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -295,29 +304,23 @@ pub fn run(root: &Path, allowlist: Option<&Path>) -> io::Result<Report> {
     let mut files = Vec::new();
     for rel in collect_rs_files(root)? {
         let text = fs::read_to_string(root.join(&rel))?;
-        files.push(SourceFile::scan(&rel, classify(&rel), &text));
+        files.push(SourceModel::parse(&rel, classify(&rel), &text));
     }
     let files_scanned = files.len();
 
     let mut findings = Vec::new();
     lints::l1_determinism(&files, &mut findings);
     lints::l2_unsafe_comments(&files, &mut findings);
-    let root_texts: Vec<(String, String)> = files
+    let roots: Vec<&SourceModel> = files
         .iter()
         .filter(|f| {
             f.rel == "src/lib.rs"
                 || (f.rel.starts_with("crates/") && f.rel.ends_with("/src/lib.rs"))
         })
-        .map(|f| (f.rel.clone(), f.raw.join("\n")))
         .collect();
-    let root_refs: Vec<(&str, &str)> = root_texts
-        .iter()
-        .map(|(r, t)| (r.as_str(), t.as_str()))
-        .collect();
-    lints::l2_forbid_unsafe(&root_refs, &mut findings);
+    lints::l2_forbid_unsafe(&roots, &mut findings);
 
-    let metrics_path = root.join(METRICS_DOC);
-    match fs::read_to_string(&metrics_path) {
+    match fs::read_to_string(root.join(METRICS_DOC)) {
         Ok(text) => {
             let reg = registry::parse_metrics_md(&text);
             lints::l3_metric_registry(&files, METRICS_DOC, &reg, &mut findings);
@@ -335,6 +338,23 @@ pub fn run(root: &Path, allowlist: Option<&Path>) -> io::Result<Report> {
     }
     lints::l4_rng_domain(&files, &mut findings);
     lints::l5_panic_hygiene(&files, &mut findings);
+    match fs::read_to_string(root.join(RNG_DOMAINS_DOC)) {
+        Ok(text) => {
+            let reg = registry::parse_rng_domains_md(&text);
+            lints::l6_rng_registry(&files, RNG_DOMAINS_DOC, &reg, &mut findings);
+        }
+        Err(_) => findings.push(Finding {
+            file: RNG_DOMAINS_DOC.to_string(),
+            line: 1,
+            lint: Lint::RngRegistry,
+            token: "registry".to_string(),
+            message: format!(
+                "canonical RNG-domain registry {RNG_DOMAINS_DOC} is missing; every `mix_*` \
+                 domain tag must be documented there"
+            ),
+        }),
+    }
+    lints::l7_kernel_dispatch(&files, &mut findings);
 
     let (allow_text, allow_rel) = match allowlist {
         Some(p) => (

@@ -1,12 +1,13 @@
-//! The five workspace invariant lints (plus the allowlist meta-lint).
+//! The seven workspace invariant lints (plus the allowlist meta-lint).
 //!
-//! Each pass takes the scanned [`SourceFile`] set and appends
+//! Each pass walks the [`SourceModel`] token trees and appends
 //! [`Finding`]s. What each lint enforces — and why the invariant
 //! matters to the PRLC reproduction — is documented on the pass itself
 //! and summarised in DESIGN.md §"Static analysis & invariant lints".
 
-use crate::registry::{self, MetricKind, Registry};
-use crate::scan::{token_positions, FileKind, SourceFile};
+use crate::lexer::{Delim, TokenKind};
+use crate::registry::{self, DomainRegistry, MetricKind, Registry};
+use crate::tree::{FileKind, SourceModel};
 
 /// Lint identifiers. Ordering is the reporting order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -23,6 +24,11 @@ pub enum Lint {
     RngDomain,
     /// L5: no `unwrap()`/`expect()` in library code.
     PanicHygiene,
+    /// L6: `mix_*` domain tags are unique and match `docs/RNG_DOMAINS.md`.
+    RngRegistry,
+    /// L7: no scalar GF arithmetic in hot-crate loops bypassing the
+    /// `GfKernel` slice layer.
+    KernelDispatch,
 }
 
 impl Lint {
@@ -35,6 +41,8 @@ impl Lint {
             Lint::MetricRegistry => "L3-metric-registry",
             Lint::RngDomain => "L4-rng-domain",
             Lint::PanicHygiene => "L5-panic-hygiene",
+            Lint::RngRegistry => "L6-rng-registry",
+            Lint::KernelDispatch => "L7-kernel-dispatch",
         }
     }
 
@@ -47,6 +55,8 @@ impl Lint {
             Lint::MetricRegistry,
             Lint::RngDomain,
             Lint::PanicHygiene,
+            Lint::RngRegistry,
+            Lint::KernelDispatch,
         ];
         all.into_iter()
             .find(|l| l.id() == s || l.id().split('-').next() == Some(s))
@@ -84,9 +94,10 @@ impl Finding {
 // L1: determinism
 // ---------------------------------------------------------------------------
 
-/// Banned tokens and why. `HashMap`/`HashSet` iterate in randomized
-/// order; the clock and ambient RNG break bit-reproducibility of
-/// snapshots and simulated persistence under a pinned seed.
+/// Banned identifiers and why. `HashMap`/`HashSet` iterate in
+/// randomized order; the clock and ambient RNG break
+/// bit-reproducibility of snapshots and simulated persistence under a
+/// pinned seed.
 const L1_BANNED: &[(&str, &str)] = &[
     (
         "HashMap",
@@ -112,32 +123,42 @@ const L1_BANNED: &[(&str, &str)] = &[
         "from_entropy",
         "entropy-seeded RNG is irreproducible; derive the seed from the run's pinned seed",
     ),
-    (
-        "rand::random",
-        "ambient RNG is unseeded; derive a seeded StdRng through a domain-separation helper",
-    ),
 ];
 
-/// L1: scan non-test code for the banned tokens.
-pub fn l1_determinism(files: &[SourceFile], out: &mut Vec<Finding>) {
+/// L1: scan non-test identifier tokens for the banned names, plus
+/// `rand::random` as the token sequence `rand` `::` `random`. Comments
+/// and string literals are distinct token kinds and can never fire.
+pub fn l1_determinism(files: &[SourceModel], out: &mut Vec<Finding>) {
     for f in files {
         if f.kind == FileKind::TestOnly {
             continue;
         }
-        for (i, code) in f.code.iter().enumerate() {
-            if f.is_test_line(i) {
+        for si in 0..f.sig_len() {
+            let t = f.tok(si);
+            if t.kind != TokenKind::Ident || f.in_test(t.start) {
                 continue;
             }
-            for &(token, why) in L1_BANNED {
-                if !token_positions(code, token).is_empty() {
-                    out.push(Finding::new(
-                        &f.rel,
-                        i + 1,
-                        Lint::Determinism,
-                        token,
-                        format!("use of `{token}`: {why}"),
-                    ));
-                }
+            let name = f.text_of(si);
+            if let Some(&(token, why)) = L1_BANNED.iter().find(|&&(n, _)| n == name) {
+                out.push(Finding::new(
+                    &f.rel,
+                    t.line,
+                    Lint::Determinism,
+                    token,
+                    format!("use of `{token}`: {why}"),
+                ));
+            }
+            if name == "random" && si >= 2 && f.is_punct(si - 1, "::") && f.is_ident(si - 2, "rand")
+            {
+                out.push(Finding::new(
+                    &f.rel,
+                    t.line,
+                    Lint::Determinism,
+                    "rand::random",
+                    "use of `rand::random`: ambient RNG is unseeded; derive a seeded StdRng \
+                     through a domain-separation helper"
+                        .to_string(),
+                ));
             }
         }
     }
@@ -147,25 +168,32 @@ pub fn l1_determinism(files: &[SourceFile], out: &mut Vec<Finding>) {
 // L2: unsafe audit
 // ---------------------------------------------------------------------------
 
-/// How many raw lines above an `unsafe` token a `// SAFETY:` comment
-/// may sit and still count as adjacent (attributes like
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may
+/// sit and still count as adjacent (attributes like
 /// `#[target_feature(..)]` may intervene).
 const SAFETY_WINDOW: usize = 3;
 
-/// L2a: every `unsafe` token needs an adjacent `// SAFETY:` comment.
-/// Applies to test code too — an unsound test is still unsound.
-pub fn l2_unsafe_comments(files: &[SourceFile], out: &mut Vec<Finding>) {
+/// L2a: every `unsafe` keyword needs a `SAFETY:` comment within
+/// [`SAFETY_WINDOW`] lines above (or on the same line). Applies to test
+/// code too — an unsound test is still unsound.
+pub fn l2_unsafe_comments(files: &[SourceModel], out: &mut Vec<Finding>) {
     for f in files {
-        for (i, code) in f.code.iter().enumerate() {
-            if token_positions(code, "unsafe").is_empty() {
+        let comment_lines: Vec<usize> = f
+            .line_comments()
+            .filter(|(_, text)| text.contains("SAFETY:"))
+            .map(|(line, _)| line)
+            .collect();
+        for si in 0..f.sig_len() {
+            let t = f.tok(si);
+            if t.kind != TokenKind::Ident || f.text_of(si) != "unsafe" {
                 continue;
             }
-            let lo = i.saturating_sub(SAFETY_WINDOW);
-            let documented = f.raw[lo..=i].iter().any(|l| l.contains("SAFETY:"));
+            let lo = t.line.saturating_sub(SAFETY_WINDOW);
+            let documented = comment_lines.iter().any(|&l| l >= lo && l <= t.line);
             if !documented {
                 out.push(Finding::new(
                     &f.rel,
-                    i + 1,
+                    t.line,
                     Lint::UnsafeAudit,
                     "unsafe",
                     "`unsafe` without an adjacent `// SAFETY:` comment (within 3 lines above)"
@@ -177,15 +205,29 @@ pub fn l2_unsafe_comments(files: &[SourceFile], out: &mut Vec<Finding>) {
 }
 
 /// L2b: every crate root except `prlc-gf` (which holds the audited
-/// kernel unsafe) must declare `#![forbid(unsafe_code)]`.
-pub fn l2_forbid_unsafe(roots: &[(&str, &str)], out: &mut Vec<Finding>) {
-    for &(rel, text) in roots {
-        if rel.starts_with("crates/gf/") {
+/// kernel unsafe) must declare `#![forbid(unsafe_code)]` — detected as
+/// the token sequence `#` `!` `[` … `forbid` `(` `unsafe_code` … `]`.
+pub fn l2_forbid_unsafe(roots: &[&SourceModel], out: &mut Vec<Finding>) {
+    for f in roots {
+        if f.rel.starts_with("crates/gf/") {
             continue;
         }
-        if !text.contains("#![forbid(unsafe_code)]") {
+        let mut found = false;
+        for si in 0..f.sig_len() {
+            if f.is_punct(si, "#")
+                && f.is_punct(si + 1, "!")
+                && f.is_open(si + 2, Delim::Bracket)
+                && f.is_ident(si + 3, "forbid")
+                && f.is_open(si + 4, Delim::Paren)
+                && f.is_ident(si + 5, "unsafe_code")
+            {
+                found = true;
+                break;
+            }
+        }
+        if !found {
             out.push(Finding::new(
-                rel,
+                &f.rel,
                 1,
                 Lint::UnsafeAudit,
                 "forbid_unsafe_code",
@@ -215,99 +257,82 @@ pub struct KeyUse {
 }
 
 const METRIC_MACROS: &[(&str, MetricKind)] = &[
-    ("counter!", MetricKind::Counter),
-    ("histogram!", MetricKind::Histogram),
-    ("timer!", MetricKind::Timer),
-    ("trace_span!", MetricKind::Span),
-    ("trace_instant!", MetricKind::Point),
+    ("counter", MetricKind::Counter),
+    ("histogram", MetricKind::Histogram),
+    ("timer", MetricKind::Timer),
+    ("trace_span", MetricKind::Span),
+    ("trace_instant", MetricKind::Point),
 ];
 
-/// Extracts every metric-macro key use from non-test code.
-pub fn extract_key_uses(files: &[SourceFile]) -> Vec<KeyUse> {
+/// Extracts every metric-macro key use from non-test code. A use is
+/// the token sequence `<macro-ident>` `!` `(`; macro *definitions*
+/// (`macro_rules! counter { … }`) open with a brace and never match,
+/// and multi-line call arguments need no special casing — the token
+/// stream does not know about lines.
+pub fn extract_key_uses(files: &[SourceModel]) -> Vec<KeyUse> {
     let mut out = Vec::new();
     for f in files {
         if f.kind == FileKind::TestOnly {
             continue;
         }
-        for (i, code) in f.code.iter().enumerate() {
-            if f.is_test_line(i) {
+        for si in 0..f.sig_len() {
+            let Some(name) = f.ident_at(si) else { continue };
+            let Some(&(_, kind)) = METRIC_MACROS.iter().find(|&&(m, _)| m == name) else {
+                continue;
+            };
+            if !(f.is_punct(si + 1, "!") && f.is_open(si + 2, Delim::Paren)) {
                 continue;
             }
-            for &(mac, kind) in METRIC_MACROS {
-                for pos in token_positions(code, mac) {
-                    let open = pos + mac.len();
-                    if code.as_bytes().get(open) != Some(&b'(') {
-                        continue; // `macro_rules! counter {` definition etc.
-                    }
-                    // Parse the argument from the string-preserving view,
-                    // joining a couple of continuation lines in case the
-                    // call wraps.
-                    let mut arg = f.keep[i][open..].to_string();
-                    for cont in f.keep.iter().skip(i + 1).take(2) {
-                        arg.push(' ');
-                        arg.push_str(cont);
-                    }
-                    if let Some(pattern) = parse_key_argument(&arg) {
-                        out.push(KeyUse {
-                            file: f.rel.clone(),
-                            line: i + 1,
-                            kind,
-                            pattern,
-                        });
-                    }
-                }
+            if f.in_test(f.tok(si).start) {
+                continue;
+            }
+            let Some(close) = f.close_of(si + 2) else {
+                continue;
+            };
+            if let Some(pattern) = key_argument(f, si + 3, close) {
+                out.push(KeyUse {
+                    file: f.rel.clone(),
+                    line: f.tok(si).line,
+                    kind,
+                    pattern,
+                });
             }
         }
     }
     out
 }
 
-/// Builds a key pattern from a macro argument: string literals
-/// concatenate (handles `concat!("a.", $op, ".b")`), `$placeholder`s
-/// become `*` wildcards, other identifiers (`concat`) are skipped.
-/// Returns `None` when no literal or placeholder appears before the
-/// argument closes. Only the *first* top-level argument is read —
-/// `trace_span!`/`trace_instant!` take ticks and annotations after the
-/// name, which must not concatenate into the key (commas inside a
-/// `concat!(...)` are at nesting depth 2 and still join).
-fn parse_key_argument(arg: &str) -> Option<String> {
-    let b = arg.as_bytes();
-    debug_assert_eq!(b.first(), Some(&b'('));
-    let mut depth = 0i32;
-    let mut i = 0;
+/// Builds a key pattern from the macro argument tokens in significant
+/// positions `[from, to)`: string literals concatenate (handles
+/// `concat!("a.", $op, ".b")`), `$placeholder`s become `*` wildcards,
+/// other identifiers (`concat`) are skipped. Only the *first* top-level
+/// argument is read — `trace_span!`/`trace_instant!` take ticks and
+/// annotations after the name, which must not concatenate into the key
+/// (commas inside a nested `concat!(...)` group still join).
+fn key_argument(f: &SourceModel, from: usize, to: usize) -> Option<String> {
     let mut key = String::new();
     let mut saw_part = false;
-    while i < b.len() {
-        match b[i] {
-            b'(' => depth += 1,
-            b')' => {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            }
-            b',' if depth == 1 => break,
-            b'"' => {
-                i += 1;
-                while i < b.len() && b[i] != b'"' {
-                    if b[i] == b'\\' {
-                        i += 1;
-                    }
-                    key.push(b[i] as char);
-                    i += 1;
-                }
-                saw_part = true;
-            }
-            b'$' => {
+    let mut depth = 0usize;
+    let mut si = from;
+    while si < to {
+        match &f.tok(si).kind {
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => depth = depth.saturating_sub(1),
+            TokenKind::Punct if depth == 0 && f.text_of(si) == "," => break,
+            TokenKind::Punct if f.text_of(si) == "$" => {
                 key.push('*');
                 saw_part = true;
-                while i + 1 < b.len() && (b[i + 1].is_ascii_alphanumeric() || b[i + 1] == b'_') {
-                    i += 1;
+                if f.ident_at(si + 1).is_some() {
+                    si += 1; // skip the placeholder name
                 }
+            }
+            TokenKind::Str { value, .. } => {
+                key.push_str(value);
+                saw_part = true;
             }
             _ => {}
         }
-        i += 1;
+        si += 1;
     }
     saw_part.then(|| {
         // Collapse adjacent wildcards introduced by split placeholders.
@@ -326,7 +351,7 @@ fn parse_key_argument(arg: &str) -> Option<String> {
 /// documented, no dead documented keys, types agree, registry itself
 /// well-formed.
 pub fn l3_metric_registry(
-    files: &[SourceFile],
+    files: &[SourceModel],
     metrics_md_rel: &str,
     registry: &Registry,
     out: &mut Vec<Finding>,
@@ -414,29 +439,38 @@ pub fn l3_metric_registry(
 /// L4: seeded RNG construction in non-test `prlc-net` code must pass
 /// its seed through a `mix_*` domain-separation helper (see
 /// `fault.rs::mix_fault_seed`) so fault, location and protocol streams
-/// can never alias.
-pub fn l4_rng_domain(files: &[SourceFile], out: &mut Vec<Finding>) {
+/// can never alias. The token tree makes this stricter than v1: the
+/// `mix_*` call must appear *inside the seed argument*, not merely on
+/// the same line.
+pub fn l4_rng_domain(files: &[SourceModel], out: &mut Vec<Finding>) {
     for f in files {
         if !f.rel.starts_with("crates/net/src/") || f.kind == FileKind::TestOnly {
             continue;
         }
-        for (i, code) in f.code.iter().enumerate() {
-            if f.is_test_line(i) {
+        for si in 0..f.sig_len() {
+            let Some(name) = f.ident_at(si) else { continue };
+            if name != "seed_from_u64" && name != "from_seed" {
                 continue;
             }
-            for needle in ["seed_from_u64", "from_seed"] {
-                if !token_positions(code, needle).is_empty() && !code.contains("mix_") {
-                    out.push(Finding::new(
-                        &f.rel,
-                        i + 1,
-                        Lint::RngDomain,
-                        needle,
-                        format!(
-                            "`{needle}` in prlc-net must derive its seed through a `mix_*` \
-                             domain-separation helper (see fault.rs) so RNG streams cannot alias"
-                        ),
-                    ));
-                }
+            let t = f.tok(si);
+            if f.in_test(t.start) {
+                continue;
+            }
+            let mixed = f.is_open(si + 1, Delim::Paren)
+                && f.close_of(si + 1).is_some_and(|close| {
+                    (si + 2..close).any(|j| f.ident_at(j).is_some_and(|id| id.starts_with("mix_")))
+                });
+            if !mixed {
+                out.push(Finding::new(
+                    &f.rel,
+                    t.line,
+                    Lint::RngDomain,
+                    name,
+                    format!(
+                        "`{name}` in prlc-net must derive its seed through a `mix_*` \
+                         domain-separation helper (see fault.rs) so RNG streams cannot alias"
+                    ),
+                ));
             }
         }
     }
@@ -450,31 +484,417 @@ pub fn l4_rng_domain(files: &[SourceFile], out: &mut Vec<Finding>) {
 /// on bad input are their error-reporting mechanism.
 const L5_EXEMPT_PREFIXES: &[&str] = &["crates/cli/", "crates/bench/"];
 
-/// L5: no `unwrap()`/`expect()` in library (non-test, non-CLI) code.
-/// Reviewed invariant panics go in the allowlist with a justification.
-pub fn l5_panic_hygiene(files: &[SourceFile], out: &mut Vec<Finding>) {
+/// L5: no `.unwrap()`/`.expect(` in library (non-test, non-CLI) code —
+/// the token sequence `.` `unwrap`/`expect` `(`. Reviewed invariant
+/// panics go in the allowlist with a justification.
+pub fn l5_panic_hygiene(files: &[SourceModel], out: &mut Vec<Finding>) {
     for f in files {
         if f.kind != FileKind::Lib || L5_EXEMPT_PREFIXES.iter().any(|p| f.rel.starts_with(p)) {
             continue;
         }
-        for (i, code) in f.code.iter().enumerate() {
-            if f.is_test_line(i) {
+        for si in 1..f.sig_len() {
+            let Some(name) = f.ident_at(si) else { continue };
+            if name != "unwrap" && name != "expect" {
                 continue;
             }
-            for (needle, token) in [(".unwrap()", "unwrap"), (".expect(", "expect")] {
-                if code.contains(needle) {
+            if !(f.is_punct(si - 1, ".") && f.is_open(si + 1, Delim::Paren)) {
+                continue;
+            }
+            let t = f.tok(si);
+            if f.in_test(t.start) {
+                continue;
+            }
+            out.push(Finding::new(
+                &f.rel,
+                t.line,
+                Lint::PanicHygiene,
+                name,
+                format!(
+                    "`{name}` in library code: propagate the Result/Option, or add an \
+                     allowlist entry with a justification if the panic is a reviewed \
+                     invariant"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L6: RNG-domain registry
+// ---------------------------------------------------------------------------
+
+/// One domain tag collected from a `mix_*` helper body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainUse {
+    /// Workspace-relative path of the helper.
+    pub file: String,
+    /// 1-based line of the tag constant.
+    pub line: usize,
+    /// The `mix_*` function name.
+    pub function: String,
+    /// Decoded ASCII tag (e.g. `PRLC:FA`).
+    pub tag: String,
+    /// Normalized hex constant (uppercase, no `0x`/`_`, no leading zeros).
+    pub constant: String,
+}
+
+/// Decodes a hex integer literal into its ASCII tag: strip `0x`,
+/// underscores and any type suffix, take the big-endian bytes with
+/// leading zero bytes dropped, and require `min_len..=8` printable
+/// ASCII characters.
+pub fn decode_ascii_tag(literal: &str, min_len: usize) -> Option<String> {
+    let hex = literal.strip_prefix("0x")?;
+    let digits: String = hex
+        .chars()
+        .take_while(|c| c.is_ascii_hexdigit() || *c == '_')
+        .filter(|c| *c != '_')
+        .collect();
+    if digits.is_empty() || digits.len() > 16 {
+        return None;
+    }
+    let padded = if digits.len() % 2 == 1 {
+        format!("0{digits}")
+    } else {
+        digits
+    };
+    let mut bytes: Vec<u8> = padded
+        .as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            let s = std::str::from_utf8(pair).ok()?;
+            u8::from_str_radix(s, 16).ok()
+        })
+        .collect::<Option<Vec<u8>>>()?;
+    while bytes.first() == Some(&0) {
+        bytes.remove(0);
+    }
+    if bytes.len() < min_len || bytes.len() > 8 {
+        return None;
+    }
+    if !bytes.iter().all(|b| (0x20..=0x7E).contains(b)) {
+        return None;
+    }
+    Some(bytes.iter().map(|&b| b as char).collect())
+}
+
+/// Normalizes a hex literal for registry comparison: uppercase digits,
+/// no `0x`, `_`, suffix, or leading zeros.
+pub fn normalize_hex(literal: &str) -> Option<String> {
+    let hex = literal.strip_prefix("0x")?;
+    let digits: String = hex
+        .chars()
+        .take_while(|c| c.is_ascii_hexdigit() || *c == '_')
+        .filter(|c| *c != '_')
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let trimmed = digits.trim_start_matches('0');
+    Some(if trimmed.is_empty() {
+        "0".to_string()
+    } else {
+        trimmed.to_string()
+    })
+}
+
+/// Collects the domain tag from every non-test `mix_*` helper and
+/// flags malformed declarations: a helper with no decodable ASCII tag
+/// XORed into its seed, more than one tag, or a tag whose same-line
+/// comment does not quote the decoded string (truth-in-comment).
+/// Also flags ASCII-taggable constants XORed *outside* a `mix_*`
+/// helper — domain separation must be centralized to stay auditable.
+pub fn collect_domain_tags(files: &[SourceModel], out: &mut Vec<Finding>) -> Vec<DomainUse> {
+    let mut uses = Vec::new();
+    for f in files {
+        if f.kind == FileKind::TestOnly {
+            continue;
+        }
+        // Byte spans of mix_* fn bodies, to exempt their constants from
+        // the "inline tag" check below.
+        let mut mix_spans: Vec<(usize, usize)> = Vec::new();
+        for si in 0..f.sig_len() {
+            if !f.is_ident(si, "fn") {
+                continue;
+            }
+            let Some(fn_name) = f.ident_at(si + 1) else {
+                continue;
+            };
+            if !fn_name.starts_with("mix_") || f.in_test(f.tok(si).start) {
+                continue;
+            }
+            let fn_name = fn_name.to_string();
+            let Some(body) = f.find_body_brace(si + 2) else {
+                continue;
+            };
+            let Some(body_close) = f.close_of(body) else {
+                continue;
+            };
+            mix_spans.push(f.brace_span(body));
+
+            let mut tags: Vec<(usize, String, String)> = Vec::new(); // (line, tag, const)
+            for j in body + 1..body_close {
+                if f.tok(j).kind != TokenKind::Int {
+                    continue;
+                }
+                let adjacent_xor = f.is_punct(j.saturating_sub(1), "^")
+                    || f.is_punct(j + 1, "^")
+                    || f.is_punct(j.saturating_sub(1), "^=");
+                if !adjacent_xor {
+                    continue;
+                }
+                let lit = f.text_of(j);
+                if let (Some(tag), Some(norm)) = (decode_ascii_tag(lit, 2), normalize_hex(lit)) {
+                    tags.push((f.tok(j).line, tag, norm));
+                }
+            }
+            match tags.len() {
+                0 => out.push(Finding::new(
+                    &f.rel,
+                    f.tok(si).line,
+                    Lint::RngRegistry,
+                    &fn_name,
+                    format!(
+                        "`{fn_name}` has no ASCII domain tag: XOR the seed with a printable \
+                         hex constant (e.g. 0x50524C_433A4641 // \"PRLC:FA\") and register it \
+                         in docs/RNG_DOMAINS.md"
+                    ),
+                )),
+                1 => {
+                    let (line, tag, constant) = tags.remove(0);
+                    let commented = f
+                        .line_comments()
+                        .any(|(l, text)| l == line && text.contains(tag.as_str()));
+                    if !commented {
+                        out.push(Finding::new(
+                            &f.rel,
+                            line,
+                            Lint::RngRegistry,
+                            &fn_name,
+                            format!(
+                                "domain tag constant in `{fn_name}` decodes to {tag:?} but the \
+                                 line carries no comment quoting it; annotate with // {tag:?}"
+                            ),
+                        ));
+                    }
+                    uses.push(DomainUse {
+                        file: f.rel.clone(),
+                        line,
+                        function: fn_name,
+                        tag,
+                        constant,
+                    });
+                }
+                _ => out.push(Finding::new(
+                    &f.rel,
+                    f.tok(si).line,
+                    Lint::RngRegistry,
+                    &fn_name,
+                    format!(
+                        "`{fn_name}` XORs {} ASCII-decodable constants; a mix helper owns \
+                         exactly one domain tag",
+                        tags.len()
+                    ),
+                )),
+            }
+        }
+
+        // Inline tags: a printable >=4-char constant XORed outside any
+        // mix_* helper is ad-hoc domain separation.
+        for si in 0..f.sig_len() {
+            let t = f.tok(si);
+            if t.kind != TokenKind::Int || f.in_test(t.start) {
+                continue;
+            }
+            if mix_spans.iter().any(|&(s, e)| t.start >= s && t.start < e) {
+                continue;
+            }
+            let adjacent_xor = f.is_punct(si.saturating_sub(1), "^") || f.is_punct(si + 1, "^");
+            if !adjacent_xor {
+                continue;
+            }
+            if let Some(tag) = decode_ascii_tag(f.text_of(si), 4) {
+                out.push(Finding::new(
+                    &f.rel,
+                    t.line,
+                    Lint::RngRegistry,
+                    &tag,
+                    format!(
+                        "ASCII domain tag {tag:?} XORed outside a `mix_*` helper; hoist it \
+                         into a mix function and register it in docs/RNG_DOMAINS.md"
+                    ),
+                ));
+            }
+        }
+    }
+    uses
+}
+
+/// L6: collect every `mix_*` domain tag workspace-wide and cross-check
+/// against `docs/RNG_DOMAINS.md` — the L3/METRICS.md pattern applied to
+/// seeds. Tags must be unique (colliding tags alias RNG streams),
+/// every tag documented with its exact constant/function/file, and
+/// every documented row live.
+pub fn l6_rng_registry(
+    files: &[SourceModel],
+    domains_md_rel: &str,
+    registry: &DomainRegistry,
+    out: &mut Vec<Finding>,
+) {
+    for p in &registry.problems {
+        out.push(Finding::new(
+            domains_md_rel,
+            p.line,
+            Lint::RngRegistry,
+            "registry",
+            p.message.clone(),
+        ));
+    }
+
+    let uses = collect_domain_tags(files, out);
+
+    // Uniqueness: two helpers sharing a tag means their streams alias.
+    for (i, a) in uses.iter().enumerate() {
+        for b in uses.iter().skip(i + 1) {
+            if a.tag == b.tag {
+                out.push(Finding::new(
+                    &b.file,
+                    b.line,
+                    Lint::RngRegistry,
+                    &b.tag,
+                    format!(
+                        "domain tag {:?} in `{}` collides with `{}` ({}:{}); colliding tags \
+                         alias RNG streams",
+                        b.tag, b.function, a.function, a.file, a.line
+                    ),
+                ));
+            }
+        }
+    }
+
+    let mut documented = vec![false; registry.entries.len()];
+    for u in &uses {
+        match registry.entries.iter().position(|e| e.tag == u.tag) {
+            None => out.push(Finding::new(
+                &u.file,
+                u.line,
+                Lint::RngRegistry,
+                &u.tag,
+                format!(
+                    "undocumented domain tag {:?} in `{}`: add a row to docs/RNG_DOMAINS.md",
+                    u.tag, u.function
+                ),
+            )),
+            Some(idx) => {
+                documented[idx] = true;
+                let e = &registry.entries[idx];
+                if e.constant != u.constant || e.function != u.function || e.file != u.file {
                     out.push(Finding::new(
-                        &f.rel,
-                        i + 1,
-                        Lint::PanicHygiene,
-                        token,
+                        &u.file,
+                        u.line,
+                        Lint::RngRegistry,
+                        &u.tag,
                         format!(
-                            "`{token}` in library code: propagate the Result/Option, or add an \
-                             allowlist entry with a justification if the panic is a reviewed \
-                             invariant"
+                            "domain tag {:?} is registered as `0x{}` in `{}` ({}), but the \
+                             code has `0x{}` in `{}` ({}); update docs/RNG_DOMAINS.md line {}",
+                            u.tag,
+                            e.constant,
+                            e.function,
+                            e.file,
+                            u.constant,
+                            u.function,
+                            u.file,
+                            e.line
                         ),
                     ));
                 }
+            }
+        }
+    }
+    for (idx, e) in registry.entries.iter().enumerate() {
+        if !documented[idx] {
+            out.push(Finding::new(
+                domains_md_rel,
+                e.line,
+                Lint::RngRegistry,
+                &e.tag,
+                format!(
+                    "dead registry row: domain tag {:?} is documented but no `mix_*` helper \
+                     declares it — remove the row or restore the helper",
+                    e.tag
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L7: kernel-dispatch audit
+// ---------------------------------------------------------------------------
+
+/// Hot crates whose loops must go through the `GfKernel` slice layer.
+const L7_HOT_PREFIXES: &[&str] = &["crates/linalg/src/", "crates/core/src/", "crates/net/src/"];
+
+/// Scalar GF-element methods that a loop body must not call directly —
+/// per-element trait dispatch in a loop bypasses the table/SIMD slice
+/// kernels. `gf_inv` is excluded: inversion is the inherently scalar
+/// pivot operation with no slice form.
+const L7_SCALAR_OPS: &[&str] = &["gf_add", "gf_mul", "gf_div", "gf_pow"];
+
+/// L7: flag scalar GF arithmetic (`.gf_add()`, `.gf_mul()`, …) inside
+/// `for`/`while`/`loop` bodies in the hot crates. Slice-level work must
+/// go through `GfElem::{axpy,scale,add_slice,mul_slice,dot}` so the
+/// dispatched kernel (table lookups, SIMD) carries it; reviewed
+/// exceptions (e.g. sparse merges with no slice form) go in the
+/// allowlist.
+pub fn l7_kernel_dispatch(files: &[SourceModel], out: &mut Vec<Finding>) {
+    for f in files {
+        if f.kind != FileKind::Lib || !L7_HOT_PREFIXES.iter().any(|p| f.rel.starts_with(p)) {
+            continue;
+        }
+        // Collect loop-body byte spans (nested bodies overlap; findings
+        // dedup at the report level).
+        let mut loop_spans: Vec<(usize, usize)> = Vec::new();
+        for si in 0..f.sig_len() {
+            let Some(kw) = f.ident_at(si) else { continue };
+            if kw != "for" && kw != "while" && kw != "loop" {
+                continue;
+            }
+            if f.in_test(f.tok(si).start) {
+                continue;
+            }
+            // `for`/`while` headers contain no top-level brace (struct
+            // literals are illegal there unparenthesized), so the first
+            // brace after the keyword — skipping `(…)`/`[…]` groups —
+            // is the body.
+            if let Some(body) = f.find_body_brace(si + 1) {
+                loop_spans.push(f.brace_span(body));
+            }
+        }
+        if loop_spans.is_empty() {
+            continue;
+        }
+        for si in 1..f.sig_len() {
+            let Some(name) = f.ident_at(si) else { continue };
+            if !L7_SCALAR_OPS.contains(&name) {
+                continue;
+            }
+            if !(f.is_punct(si - 1, ".") && f.is_open(si + 1, Delim::Paren)) {
+                continue;
+            }
+            let t = f.tok(si);
+            if f.in_test(t.start) {
+                continue;
+            }
+            if loop_spans.iter().any(|&(s, e)| t.start >= s && t.start < e) {
+                out.push(Finding::new(
+                    &f.rel,
+                    t.line,
+                    Lint::KernelDispatch,
+                    name,
+                    format!(
+                        "scalar `{name}` in a hot-crate loop bypasses the GfKernel slice \
+                         layer; restructure onto GfElem::{{axpy,scale,add_slice,mul_slice,\
+                         dot}} or add an allowlist entry justifying the scalar site"
+                    ),
+                ));
             }
         }
     }
@@ -483,10 +903,10 @@ pub fn l5_panic_hygiene(files: &[SourceFile], out: &mut Vec<Finding>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::parse_metrics_md;
+    use crate::registry::{parse_metrics_md, parse_rng_domains_md};
 
-    fn lib(rel: &str, src: &str) -> SourceFile {
-        SourceFile::scan(rel, FileKind::Lib, src)
+    fn lib(rel: &str, src: &str) -> SourceModel {
+        SourceModel::parse(rel, FileKind::Lib, src)
     }
 
     // ---- L1 ----
@@ -508,11 +928,21 @@ mod tests {
     fn l1_ignores_comments_strings_and_test_code() {
         let f = lib(
             "crates/core/src/x.rs",
-            "// HashMap in prose\nlet m = \"an Instant msg\";\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n",
+            "// HashMap in prose\nlet m = \"an Instant msg\";\nlet r = r#\"SystemTime too\"#;\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n",
         );
         let mut out = Vec::new();
         l1_determinism(&[f], &mut out);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn l1_rand_random_needs_the_path_prefix() {
+        let fires = lib("crates/core/src/x.rs", "let x = rand::random::<u8>();\n");
+        let silent = lib("crates/core/src/y.rs", "let x = my::random();\n");
+        let mut out = Vec::new();
+        l1_determinism(&[fires, silent], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].token, "rand::random");
     }
 
     // ---- L2 ----
@@ -546,16 +976,23 @@ mod tests {
     }
 
     #[test]
-    fn l2_forbid_attr_required_outside_gf() {
-        let mut out = Vec::new();
-        l2_forbid_unsafe(
-            &[
-                ("crates/net/src/lib.rs", "#![forbid(unsafe_code)]\n"),
-                ("crates/sim/src/lib.rs", "//! docs only\n"),
-                ("crates/gf/src/lib.rs", "// gf is exempt\n"),
-            ],
-            &mut out,
+    fn l2_string_unsafe_does_not_fire() {
+        let f = lib(
+            "crates/gf/src/k.rs",
+            "let s = \"unsafe\"; let r = r#\"unsafe\"#;\n",
         );
+        let mut out = Vec::new();
+        l2_unsafe_comments(&[f], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn l2_forbid_attr_required_outside_gf() {
+        let with = lib("crates/net/src/lib.rs", "#![forbid(unsafe_code)]\n");
+        let without = lib("crates/sim/src/lib.rs", "//! docs only\n");
+        let gf = lib("crates/gf/src/lib.rs", "// gf is exempt\n");
+        let mut out = Vec::new();
+        l2_forbid_unsafe(&[&with, &without, &gf], &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].file, "crates/sim/src/lib.rs");
     }
@@ -651,16 +1088,20 @@ mod tests {
     #[test]
     fn key_argument_stops_at_the_first_top_level_comma() {
         // Trailing macro arguments (ticks, annotations) never join the
-        // key, but commas inside a nested concat! still do.
+        // key, but commas inside a nested concat! still do — and a call
+        // wrapped across lines parses identically.
+        let uses = extract_key_uses(&[lib(
+            "crates/net/src/c.rs",
+            "counter!(\"net.fault.retry\", self.step as u64, dest: d);\n\
+             counter!(concat!(\"gf.\", $op, \".bytes\"), n);\n\
+             histogram!(\n    \"net.collect.query_hops\",\n    hops,\n);\n\
+             timer!(tick, \"not.the.key\");\n",
+        )]);
+        let patterns: Vec<&str> = uses.iter().map(|u| u.pattern.as_str()).collect();
         assert_eq!(
-            parse_key_argument("(\"net.fault.retry\", self.step as u64, dest: d)"),
-            Some("net.fault.retry".to_string())
+            patterns,
+            ["net.fault.retry", "gf.*.bytes", "net.collect.query_hops"]
         );
-        assert_eq!(
-            parse_key_argument("(concat!(\"gf.\", $op, \".bytes\"), n)"),
-            Some("gf.*.bytes".to_string())
-        );
-        assert_eq!(parse_key_argument("(tick, \"not.the.key\")"), None);
     }
 
     #[test]
@@ -673,13 +1114,29 @@ mod tests {
         assert!(uses.is_empty(), "{uses:?}");
     }
 
+    #[test]
+    fn l3_skips_macro_definitions() {
+        let f = lib(
+            "crates/obs/src/lib.rs",
+            "macro_rules! counter {\n    ($key:expr) => { $crate::metrics::counter($key) };\n}\n",
+        );
+        let uses = extract_key_uses(&[f]);
+        assert!(uses.is_empty(), "{uses:?}");
+    }
+
     // ---- L4 ----
 
     #[test]
-    fn l4_requires_mix_helper_in_net() {
+    fn l4_requires_mix_helper_inside_the_seed_argument() {
         let bad = lib(
             "crates/net/src/proto.rs",
             "let rng = StdRng::seed_from_u64(cfg.seed);\n",
+        );
+        // v1 accepted `mix_` anywhere on the line; v2 requires it in the
+        // argument.
+        let bad_same_line = lib(
+            "crates/net/src/proto2.rs",
+            "let m = mix_seed(s); let rng = StdRng::seed_from_u64(raw);\n",
         );
         let good = lib(
             "crates/net/src/fault.rs",
@@ -690,9 +1147,13 @@ mod tests {
             "let rng = StdRng::seed_from_u64(seed);\n",
         );
         let mut out = Vec::new();
-        l4_rng_domain(&[bad, good, elsewhere], &mut out);
-        assert_eq!(out.len(), 1, "{out:?}");
-        assert_eq!(out[0].file, "crates/net/src/proto.rs");
+        l4_rng_domain(&[bad, bad_same_line, good, elsewhere], &mut out);
+        let files: Vec<&str> = out.iter().map(|f| f.file.as_str()).collect();
+        assert_eq!(
+            files,
+            ["crates/net/src/proto.rs", "crates/net/src/proto2.rs"],
+            "{out:?}"
+        );
     }
 
     // ---- L5 ----
@@ -701,8 +1162,8 @@ mod tests {
     fn l5_fires_in_library_code_only() {
         let libf = lib("crates/core/src/x.rs", "let v = opt.unwrap();\n");
         let cli = lib("crates/cli/src/commands.rs", "let v = opt.unwrap();\n");
-        let binf = SourceFile::scan("crates/lint/src/main.rs", FileKind::Bin, "x.unwrap();\n");
-        let testf = SourceFile::scan("tests/e2e.rs", FileKind::TestOnly, "x.unwrap();\n");
+        let binf = SourceModel::parse("crates/lint/src/main.rs", FileKind::Bin, "x.unwrap();\n");
+        let testf = SourceModel::parse("tests/e2e.rs", FileKind::TestOnly, "x.unwrap();\n");
         let mut out = Vec::new();
         l5_panic_hygiene(&[libf, cli, binf, testf], &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
@@ -711,14 +1172,218 @@ mod tests {
     }
 
     #[test]
-    fn l5_skips_cfg_test_regions() {
+    fn l5_skips_cfg_test_regions_and_lookalikes() {
         let f = lib(
             "crates/core/src/x.rs",
-            "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.expect(\"fine in tests\"); }\n}\n",
+            "fn ok(x: Option<u8>) -> u8 { x.unwrap_or(0) }\nlet s = \".unwrap()\";\n#[cfg(test)]\nmod tests {\n    fn t() { x.expect(\"fine in tests\"); }\n}\n",
         );
         let mut out = Vec::new();
         l5_panic_hygiene(&[f], &mut out);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    // ---- L6 ----
+
+    const DOMAINS: &str = "\
+| `PRLC:FA` | `0x50524C_433A4641` | `mix_fault_seed` | `crates/net/src/fault.rs` | fault streams |
+| `PRLC:LO` | `0x50524C_433A4C4F` | `mix_seed` | `crates/net/src/protocol.rs` | location streams |
+";
+
+    const GOOD_MIX: &str = "\
+fn mix_fault_seed(seed: u64) -> u64 {\n    let mut z = seed ^ 0x50524C_433A4641; // \"PRLC:FA\"\n    z\n}\n";
+
+    #[test]
+    fn l6_clean_when_tags_match_registry() {
+        let fault = lib("crates/net/src/fault.rs", GOOD_MIX);
+        let proto = lib(
+            "crates/net/src/protocol.rs",
+            "pub(crate) fn mix_seed(seed: u64) -> u64 {\n    let z = seed ^ 0x50524C_433A4C4F; // \"PRLC:LO\"\n    z\n}\n",
+        );
+        let mut out = Vec::new();
+        l6_rng_registry(
+            &[fault, proto],
+            "docs/RNG_DOMAINS.md",
+            &parse_rng_domains_md(DOMAINS),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn l6_flags_undocumented_colliding_and_dead_tags() {
+        let fault = lib("crates/net/src/fault.rs", GOOD_MIX);
+        // Same tag as mix_fault_seed (collision) and not in the doc
+        // under its own name; mix_rogue_seed's tag is undocumented.
+        let rogue = lib(
+            "crates/net/src/rogue.rs",
+            "fn mix_rogue_seed(seed: u64) -> u64 {\n    seed ^ 0x1709 // nonsense\n}\nfn mix_alias_seed(seed: u64) -> u64 {\n    seed ^ 0x50524C_433A4641 // \"PRLC:FA\"\n}\n",
+        );
+        let mut out = Vec::new();
+        l6_rng_registry(
+            &[fault, rogue],
+            "docs/RNG_DOMAINS.md",
+            &parse_rng_domains_md(DOMAINS),
+            &mut out,
+        );
+        let msgs: Vec<&str> = out.iter().map(|f| f.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("collides with")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("dead registry row")),
+            "{msgs:?}"
+        );
+        // mix_rogue_seed has no decodable tag at all.
+        assert!(
+            msgs.iter().any(|m| m.contains("no ASCII domain tag")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn l6_truth_in_comment_and_constant_mismatch() {
+        // Tag decodes to PRLC:FA but the comment claims otherwise.
+        let lying = lib(
+            "crates/net/src/fault.rs",
+            "fn mix_fault_seed(seed: u64) -> u64 {\n    seed ^ 0x50524C_433A4641 // totally not a tag\n}\n",
+        );
+        let mut out = Vec::new();
+        l6_rng_registry(
+            &[lying],
+            "docs/RNG_DOMAINS.md",
+            &parse_rng_domains_md(DOMAINS),
+            &mut out,
+        );
+        assert!(
+            out.iter().any(|f| f.message.contains("no comment quoting")),
+            "{out:?}"
+        );
+
+        // Registered location differs from the code's: the row is
+        // internally consistent (constant decodes to its tag), but the
+        // helper has moved to another file since it was written down.
+        let drifted = lib(
+            "crates/net/src/fault.rs",
+            "fn mix_fault_seed(seed: u64) -> u64 {\n    seed ^ 0x50524C_433A4642 // \"PRLC:FB\"\n}\n",
+        );
+        let mut out = Vec::new();
+        l6_rng_registry(
+            &[drifted],
+            "docs/RNG_DOMAINS.md",
+            &parse_rng_domains_md("| `PRLC:FB` | `0x50524C_433A4642` | `mix_fault_seed` | `crates/net/src/retired.rs` | drift |\n"),
+            &mut out,
+        );
+        assert!(
+            out.iter()
+                .any(|f| f.message.contains("update docs/RNG_DOMAINS.md")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn l6_flags_inline_tags_outside_mix_helpers() {
+        let f = lib(
+            "crates/sim/src/lossy.rs",
+            "fn one_run(seed: u64, li: usize) -> u64 {\n    splitmix64(seed ^ splitmix64(0x4C4F_5353 ^ li as u64))\n}\n",
+        );
+        let mut out = Vec::new();
+        let uses = collect_domain_tags(&[f], &mut out);
+        assert!(uses.is_empty());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("hoist"), "{out:?}");
+        assert_eq!(out[0].token, "LOSS");
+    }
+
+    #[test]
+    fn l6_splitmix_constants_are_not_tags() {
+        // The SplitMix64 multipliers and golden-ratio increment have
+        // non-printable bytes and must never register as tags.
+        let f = lib(
+            "crates/sim/src/runner.rs",
+            "pub fn splitmix64(mut z: u64) -> u64 {\n    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);\n    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);\n    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);\n    z ^ (z >> 31)\n}\n",
+        );
+        let mut out = Vec::new();
+        let uses = collect_domain_tags(&[f], &mut out);
+        assert!(uses.is_empty(), "{uses:?}");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn decode_ascii_tags() {
+        assert_eq!(
+            decode_ascii_tag("0x50524C_433A4641", 2).as_deref(),
+            Some("PRLC:FA")
+        );
+        assert_eq!(decode_ascii_tag("0x4C4F_5353", 4).as_deref(), Some("LOSS"));
+        assert_eq!(
+            decode_ascii_tag("0x4C4F_5353u64", 4).as_deref(),
+            Some("LOSS")
+        );
+        assert_eq!(decode_ascii_tag("0x0517", 2), None, "non-printable");
+        assert_eq!(decode_ascii_tag("0x41", 2), None, "too short");
+        assert_eq!(decode_ascii_tag("0x9E37_79B9_7F4A_7C15", 2), None);
+        assert_eq!(decode_ascii_tag("42", 2), None, "not hex");
+        assert_eq!(normalize_hex("0x00_4C4F_5353").as_deref(), Some("4C4F5353"));
+    }
+
+    // ---- L7 ----
+
+    #[test]
+    fn l7_fires_on_scalar_gf_ops_in_hot_loops() {
+        let f = lib(
+            "crates/linalg/src/rowops.rs",
+            "fn axpy(data: &mut [G], other: &[G], factor: G) {\n    for i in 0..data.len() {\n        data[i] = data[i].gf_add(factor.gf_mul(other[i]));\n    }\n}\n",
+        );
+        let mut out = Vec::new();
+        l7_kernel_dispatch(&[f], &mut out);
+        let tokens: Vec<&str> = out.iter().map(|f| f.token.as_str()).collect();
+        assert_eq!(tokens, ["gf_add", "gf_mul"], "{out:?}");
+    }
+
+    #[test]
+    fn l7_silent_on_slice_kernels_cold_crates_pivots_and_tests() {
+        // Slice-level dispatch, straight-line scalar code, gf_inv
+        // pivots, non-hot crates, and test code are all fine.
+        let slice = lib(
+            "crates/linalg/src/rowops.rs",
+            "fn axpy(data: &mut [G], other: &[G], factor: G) {\n    G::axpy(data, factor, other);\n}\n",
+        );
+        let straight = lib(
+            "crates/linalg/src/pivot.rs",
+            "fn pivot(a: G, b: G) -> Option<G> {\n    let inv = a.gf_inv()?;\n    Some(inv.gf_mul(b))\n}\n",
+        );
+        let pivot_loop = lib(
+            "crates/linalg/src/elim.rs",
+            "fn find(rows: &[Row]) -> Option<G> {\n    for r in rows {\n        if let Some(inv) = r.lead.gf_inv() {\n            return Some(inv);\n        }\n    }\n    None\n}\n",
+        );
+        let cold = lib(
+            "crates/gf/src/kernel.rs",
+            "fn scalar_axpy(d: &mut [G], c: G, s: &[G]) {\n    for (d, s) in d.iter_mut().zip(s) {\n        *d = d.gf_add(c.gf_mul(*s));\n    }\n}\n",
+        );
+        let test_code = lib(
+            "crates/linalg/src/coeffrow.rs",
+            "#[cfg(test)]\nmod tests {\n    fn slow(d: &mut [G], c: G, s: &[G]) {\n        for i in 0..d.len() { d[i] = d[i].gf_add(c.gf_mul(s[i])); }\n    }\n}\n",
+        );
+        let mut out = Vec::new();
+        l7_kernel_dispatch(&[slice, straight, pivot_loop, cold, test_code], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn l7_while_loops_and_closures_in_headers() {
+        let fires = lib(
+            "crates/linalg/src/merge.rs",
+            "fn merge(a: &[E], b: &[E], factor: G) {\n    let mut j = 0;\n    while j < b.len() {\n        let v = factor.gf_mul(b[j].1);\n        j += 1;\n    }\n}\n",
+        );
+        // A closure in the iterator chain of a for-header must not eat
+        // the body brace.
+        let header_closure = lib(
+            "crates/linalg/src/map.rs",
+            "fn f(rows: &[Row]) {\n    for x in rows.iter().map(|r| { r.id }) {\n        use_it(x);\n    }\n}\n",
+        );
+        let mut out = Vec::new();
+        l7_kernel_dispatch(&[fires, header_closure], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].token, "gf_mul");
+        assert_eq!(out[0].file, "crates/linalg/src/merge.rs");
     }
 
     #[test]
@@ -730,6 +1395,8 @@ mod tests {
             Lint::MetricRegistry,
             Lint::RngDomain,
             Lint::PanicHygiene,
+            Lint::RngRegistry,
+            Lint::KernelDispatch,
         ] {
             assert_eq!(Lint::from_id(l.id()), Some(l));
             let short = l.id().split('-').next().expect("id has a dash");

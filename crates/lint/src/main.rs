@@ -7,7 +7,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 prlc-lint: workspace invariant linter (determinism, unsafe-audit,
-metric-key registry, RNG domain separation, panic hygiene)
+metric-key registry, RNG domain separation, panic hygiene,
+RNG-domain registry, kernel-dispatch audit)
 
 USAGE:
     prlc-lint [--root DIR] [--format text|json] [--allowlist FILE]

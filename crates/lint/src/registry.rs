@@ -1,6 +1,6 @@
-//! The canonical metric-key registry: parsing `docs/METRICS.md` and the
-//! key naming scheme shared by the static (L3) and runtime coverage
-//! checks.
+//! The canonical registries: parsing `docs/METRICS.md` (metric keys,
+//! L3) and `docs/RNG_DOMAINS.md` (RNG domain tags, L6), plus the key
+//! naming scheme shared by the static and runtime coverage checks.
 
 /// Metric kinds, matching the three `prlc-obs` metric macros plus the
 /// two trace macros.
@@ -180,6 +180,111 @@ pub fn parse_metrics_md(text: &str) -> Registry {
     reg
 }
 
+/// One documented RNG domain tag (a `docs/RNG_DOMAINS.md` row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainEntry {
+    /// Decoded ASCII tag, e.g. `PRLC:FA`.
+    pub tag: String,
+    /// Normalized hex constant (uppercase, no `0x`/`_`/leading zeros).
+    pub constant: String,
+    /// The `mix_*` helper that owns the tag.
+    pub function: String,
+    /// Workspace-relative path of the helper.
+    pub file: String,
+    /// 1-based line in the registry document.
+    pub line: usize,
+}
+
+/// The parsed domain registry plus document-level problems.
+#[derive(Debug, Default)]
+pub struct DomainRegistry {
+    /// Documented tags in document order.
+    pub entries: Vec<DomainEntry>,
+    /// Duplicates, malformed constants, tag/constant mismatches.
+    pub problems: Vec<RegistryProblem>,
+}
+
+/// Parses the domain table out of RNG_DOMAINS.md text. A registry row
+/// is a markdown table row of five cells, the first four backticked:
+///
+/// ```text
+/// | `PRLC:FA` | `0x50524C_433A4641` | `mix_fault_seed` | `crates/net/src/fault.rs` | fault streams |
+/// ```
+///
+/// The constant cell must itself decode (big-endian ASCII) to the tag
+/// cell — a row that lies about its own constant is a problem.
+pub fn parse_rng_domains_md(text: &str) -> DomainRegistry {
+    let mut reg = DomainRegistry::default();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed
+            .trim_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect();
+        if cells.len() < 4 {
+            continue;
+        }
+        let ticked = |c: &str| -> Option<String> {
+            c.strip_prefix('`')
+                .and_then(|c| c.strip_suffix('`'))
+                .map(str::to_string)
+        };
+        let (Some(tag), Some(constant), Some(function), Some(file)) = (
+            ticked(cells[0]),
+            ticked(cells[1]),
+            ticked(cells[2]),
+            ticked(cells[3]),
+        ) else {
+            continue; // header, separator, or prose row
+        };
+        let Some(norm) = crate::lints::normalize_hex(&constant) else {
+            reg.problems.push(RegistryProblem {
+                line: line_no,
+                message: format!(
+                    "domain row `{tag}` has malformed constant {constant:?} (expected 0x-hex)"
+                ),
+            });
+            continue;
+        };
+        match crate::lints::decode_ascii_tag(&constant, 2) {
+            Some(decoded) if decoded == tag => {}
+            decoded => {
+                reg.problems.push(RegistryProblem {
+                    line: line_no,
+                    message: format!(
+                        "domain row tag `{tag}` does not match its constant {constant} \
+                         (which decodes to {decoded:?})"
+                    ),
+                });
+                continue;
+            }
+        }
+        if let Some(first) = reg.entries.iter().find(|e| e.tag == tag) {
+            reg.problems.push(RegistryProblem {
+                line: line_no,
+                message: format!(
+                    "duplicate domain tag `{tag}` (first documented on line {})",
+                    first.line
+                ),
+            });
+            continue;
+        }
+        reg.entries.push(DomainEntry {
+            tag,
+            constant: norm,
+            function,
+            file,
+            line: line_no,
+        });
+    }
+    reg
+}
+
 /// Matches a `*`-wildcard key pattern (each `*` stands for one or more
 /// key characters) against a concrete key.
 pub fn pattern_matches(pattern: &str, key: &str) -> bool {
@@ -269,6 +374,31 @@ Some prose with a stray `not.a.row` mention.
         assert!(check_key_name("net.Retries").is_err());
         assert!(check_key_name("http.requests").is_err());
         assert!(check_key_name("net..x").is_err());
+    }
+
+    #[test]
+    fn parses_domain_rows_and_flags_lies() {
+        let doc = "\
+# domains
+
+| tag | constant | function | file | purpose |
+|-----|----------|----------|------|---------|
+| `PRLC:FA` | `0x50524C_433A4641` | `mix_fault_seed` | `crates/net/src/fault.rs` | faults |
+| `LOSS` | `0x4C4F_5353` | `mix_loss_seed` | `crates/sim/src/lossy.rs` | loss |
+| `BAD` | `0x4C4F_5353` | `mix_other` | `crates/x.rs` | constant decodes to LOSS |
+| `LOSS` | `0x4C4F_5353` | `mix_dup` | `crates/y.rs` | duplicate tag |
+| `OOPS` | `not-hex` | `mix_z` | `crates/z.rs` | malformed |
+";
+        let reg = parse_rng_domains_md(doc);
+        let tags: Vec<&str> = reg.entries.iter().map(|e| e.tag.as_str()).collect();
+        assert_eq!(tags, ["PRLC:FA", "LOSS"], "{:?}", reg.entries);
+        assert_eq!(reg.entries[0].constant, "50524C433A4641");
+        assert_eq!(reg.entries[1].function, "mix_loss_seed");
+        assert_eq!(reg.entries[1].file, "crates/sim/src/lossy.rs");
+        assert_eq!(reg.problems.len(), 3, "{:?}", reg.problems);
+        assert!(reg.problems[0].message.contains("does not match"));
+        assert!(reg.problems[1].message.contains("duplicate domain tag"));
+        assert!(reg.problems[2].message.contains("malformed constant"));
     }
 
     #[test]

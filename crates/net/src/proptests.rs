@@ -211,7 +211,7 @@ proptest! {
         // list is a prefix of the larger one's: crash sets are nested
         // and decoding can only get (weakly) worse per run — not just
         // on average.
-        let mut run_with_kills = |k: usize| {
+        let run_with_kills = |k: usize| {
             let mut session = FaultPlan::none().session(net.node_count());
             let mut adv = Adversary::new(AdversaryPlan {
                 strategy: AdversaryStrategy::Targeted { kills: k, focus },
@@ -280,7 +280,7 @@ proptest! {
         // snapshotted against the pre-strike down set on the session
         // RNG, so gen_bool(lo) true implies gen_bool(hi) true on the
         // same draw: the lo crash set is a subset of the hi crash set.
-        let mut run_with_fraction = |fraction: f64| {
+        let run_with_fraction = |fraction: f64| {
             let mut session: FaultSession = FaultPlan::none().session(net.node_count());
             let mut adv = Adversary::new(AdversaryPlan {
                 strategy: AdversaryStrategy::Region { fraction, segment_len },

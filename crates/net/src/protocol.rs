@@ -414,10 +414,10 @@ pub(crate) fn session_setup<N: Network, F: GfElem>(
         // identical rejection sequence).
         let (point, owner) = loop {
             let p1 = net.random_point(&mut seed_rng);
-            let o1 = net.owner_of(p1).expect("alive_count > 0");
+            let o1 = net.owner_of(p1).ok_or(ProtocolError::NetworkEmpty)?;
             if cfg.two_choices {
                 let p2 = net.random_point(&mut seed_rng);
-                let o2 = net.owner_of(p2).expect("alive_count > 0");
+                let o2 = net.owner_of(p2).ok_or(ProtocolError::NetworkEmpty)?;
                 let c1 = load.load(o1) < capacity;
                 let c2 = load.load(o2) < capacity;
                 match (c1, c2) {
@@ -556,7 +556,7 @@ pub fn predistribute_with_faults_sync<N: Network, F: GfElem, R: Rng + ?Sized>(
         }
         let origin = net
             .random_alive_node(rng)
-            .expect("alive_count > 0 was checked");
+            .ok_or(ProtocolError::NetworkEmpty)?;
         let fanout = cfg.fanout.count(eligible_len, n_blocks);
         for pick in sample(rng, eligible_len, fanout) {
             let slot_idx = eligible.start + pick;

@@ -19,7 +19,7 @@ use prlc_core::{
 use prlc_gf::GfElem;
 use prlc_net::{
     collect_with_faults, predistribute, CollectionConfig, CollectionReport, FaultPlan, Network,
-    ProtocolConfig, RetryPolicy, RingNetwork, SourceFanout,
+    ProtocolConfig, ProtocolError, RetryPolicy, RingNetwork, SourceFanout,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -133,13 +133,21 @@ impl LossySweep {
 /// Per-cell values recorded by one run, in order.
 const FIELDS: usize = 7;
 
+/// Domain-separated sub-seed for loss-level `li` of the sweep grid.
+/// Every retry budget at one loss rate shares a collector and visit
+/// order (paired comparison) while distinct loss levels never alias;
+/// the tag is registered in docs/RNG_DOMAINS.md.
+fn mix_loss_seed(seed: u64, li: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(0x4C4F_5353 ^ li)) // "LOSS"
+}
+
 /// Runs the lossy-collection sweep with the runner's default worker
 /// count. See [`persistence_under_lossy_collection_with_threads`].
 pub fn persistence_under_lossy_collection<F: GfElem>(
     cfg: &LossyCollectionConfig,
     losses: &[f64],
     retry_budgets: &[usize],
-) -> LossySweep {
+) -> Result<LossySweep, ProtocolError> {
     persistence_under_lossy_collection_with_threads::<F>(
         cfg,
         losses,
@@ -157,6 +165,12 @@ pub fn persistence_under_lossy_collection<F: GfElem>(
 /// share the collector and visit order within a run, so retry budgets
 /// are compared on paired query sequences.
 ///
+/// # Errors
+///
+/// Returns the first [`ProtocolError`] raised while pre-distributing a
+/// run's deployment (e.g. a configuration whose level count does not
+/// match its distribution).
+///
 /// # Panics
 ///
 /// Panics if any loss rate is outside `[0, 1]`.
@@ -165,15 +179,16 @@ pub fn persistence_under_lossy_collection_with_threads<F: GfElem>(
     losses: &[f64],
     retry_budgets: &[usize],
     threads: usize,
-) -> LossySweep {
+) -> Result<LossySweep, ProtocolError> {
     let losses = losses.to_vec();
     let retry_budgets = retry_budgets.to_vec();
-    let trajectories = {
+    let trajectories: Vec<Result<Vec<f64>, ProtocolError>> = {
         let (losses, retry_budgets) = (losses.clone(), retry_budgets.clone());
         run_parallel_with_threads(cfg.runs, cfg.seed, threads, move |seed| {
             one_sweep_run::<F>(cfg, &losses, &retry_budgets, seed)
         })
     };
+    let trajectories = trajectories.into_iter().collect::<Result<Vec<_>, _>>()?;
     let summaries = summarize_trajectories(&trajectories);
 
     let mut cells = Vec::with_capacity(losses.len() * retry_budgets.len());
@@ -193,11 +208,11 @@ pub fn persistence_under_lossy_collection_with_threads<F: GfElem>(
             });
         }
     }
-    LossySweep {
+    Ok(LossySweep {
         losses,
         retry_budgets,
         cells,
-    }
+    })
 }
 
 fn one_sweep_run<F: GfElem>(
@@ -205,7 +220,7 @@ fn one_sweep_run<F: GfElem>(
     losses: &[f64],
     retry_budgets: &[usize],
     seed: u64,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, ProtocolError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut net = RingNetwork::new(cfg.nodes, &mut rng);
     let sources: Vec<Vec<F>> = vec![Vec::new(); cfg.profile.total_blocks()];
@@ -224,15 +239,14 @@ fn one_sweep_run<F: GfElem>(
         },
         &sources,
         &mut rng,
-    )
-    .expect("fresh network accepts the protocol");
+    )?;
     net.fail_uniform(cfg.node_failure, &mut rng);
 
     let mut out = Vec::with_capacity(losses.len() * retry_budgets.len() * FIELDS);
     for (li, &loss) in losses.iter().enumerate() {
         // One sub-seed per loss rate: every retry budget at this loss
         // sees the same collector and visit order (paired comparison).
-        let loss_seed = splitmix64(seed ^ splitmix64(0x4C4F_5353 ^ li as u64));
+        let loss_seed = mix_loss_seed(seed, li as u64);
         for &retries in retry_budgets {
             let mut cell_rng = StdRng::seed_from_u64(loss_seed);
             let Some(collector) = net.random_alive_node(&mut cell_rng) else {
@@ -298,7 +312,7 @@ fn one_sweep_run<F: GfElem>(
             out.first().copied().unwrap_or(0.0) as u64,
         );
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -322,7 +336,8 @@ mod tests {
 
     #[test]
     fn sweep_has_grid_shape_and_indexing() {
-        let sweep = persistence_under_lossy_collection::<Gf256>(&base(), &[0.0, 0.5], &[0, 2]);
+        let sweep = persistence_under_lossy_collection::<Gf256>(&base(), &[0.0, 0.5], &[0, 2])
+            .expect("sweep");
         assert_eq!(sweep.cells.len(), 4);
         assert_eq!(sweep.cell(1, 0).loss, 0.5);
         assert_eq!(sweep.cell(1, 0).retries, 0);
@@ -332,7 +347,8 @@ mod tests {
 
     #[test]
     fn zero_loss_matches_fault_free_collection() {
-        let sweep = persistence_under_lossy_collection::<Gf256>(&base(), &[0.0], &[0]);
+        let sweep =
+            persistence_under_lossy_collection::<Gf256>(&base(), &[0.0], &[0]).expect("sweep");
         let cell = sweep.cell(0, 0);
         // 4x overhead and mild node failure: everything decodes, and the
         // fault layer reports a silent transport.
@@ -354,7 +370,8 @@ mod tests {
         // a measurable part of them back.
         let mut cfg = base();
         cfg.runs = 20;
-        let sweep = persistence_under_lossy_collection::<Gf256>(&cfg, &[0.0, 0.6], &[0, 4]);
+        let sweep =
+            persistence_under_lossy_collection::<Gf256>(&cfg, &[0.0, 0.6], &[0, 4]).expect("sweep");
         let clean = sweep.cell(0, 0).decoded_levels.mean;
         let lossy = sweep.cell(1, 0).decoded_levels.mean;
         let retried = sweep.cell(1, 1).decoded_levels.mean;
@@ -377,8 +394,10 @@ mod tests {
     #[test]
     fn deterministic_and_thread_independent() {
         let cfg = base();
-        let a = persistence_under_lossy_collection_with_threads::<Gf256>(&cfg, &[0.3], &[1], 1);
-        let b = persistence_under_lossy_collection_with_threads::<Gf256>(&cfg, &[0.3], &[1], 4);
+        let a = persistence_under_lossy_collection_with_threads::<Gf256>(&cfg, &[0.3], &[1], 1)
+            .expect("sweep");
+        let b = persistence_under_lossy_collection_with_threads::<Gf256>(&cfg, &[0.3], &[1], 4)
+            .expect("sweep");
         for (x, y) in a.cells.iter().zip(&b.cells) {
             assert_eq!(x.decoded_levels.mean, y.decoded_levels.mean);
             assert_eq!(x.query_hops, y.query_hops);
@@ -387,7 +406,8 @@ mod tests {
 
     #[test]
     fn results_json_is_well_formed() {
-        let sweep = persistence_under_lossy_collection::<Gf256>(&base(), &[0.0, 0.4], &[1]);
+        let sweep =
+            persistence_under_lossy_collection::<Gf256>(&base(), &[0.0, 0.4], &[1]).expect("sweep");
         let json = sweep.results_json();
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert_eq!(json.matches("\"loss\":").count(), 2);

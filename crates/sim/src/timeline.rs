@@ -14,7 +14,7 @@ use prlc_core::{
 use prlc_gf::GfElem;
 use prlc_net::{
     predistribute_with_faults, refresh_with_faults, FaultPlan, Network, ProtocolConfig,
-    RefreshConfig, RingNetwork, SourceFanout,
+    ProtocolError, RefreshConfig, RingNetwork, SourceFanout,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,17 +64,29 @@ pub struct TimelineConfig {
 /// Mean decodable levels after each epoch (`out[0]` is before any
 /// churn; `out[e]` after epoch `e`). Runs on the runner's default
 /// worker count; see [`simulate_persistence_timeline_with_threads`].
-pub fn simulate_persistence_timeline<F: GfElem>(cfg: &TimelineConfig) -> Vec<Summary> {
+///
+/// # Errors
+///
+/// Returns the first [`ProtocolError`] raised by any run's
+/// predistribution (e.g. a config whose capacity cannot hold the
+/// requested locations).
+pub fn simulate_persistence_timeline<F: GfElem>(
+    cfg: &TimelineConfig,
+) -> Result<Vec<Summary>, ProtocolError> {
     simulate_persistence_timeline_with_threads::<F>(cfg, default_threads())
 }
 
 /// [`simulate_persistence_timeline`] with an explicit worker count.
 /// Results are bit-identical across `threads` (each run is seeded by
 /// index, not by schedule).
+///
+/// # Errors
+///
+/// See [`simulate_persistence_timeline`].
 pub fn simulate_persistence_timeline_with_threads<F: GfElem>(
     cfg: &TimelineConfig,
     threads: usize,
-) -> Vec<Summary> {
+) -> Result<Vec<Summary>, ProtocolError> {
     let trajectories = run_parallel_with_threads(cfg.runs, cfg.seed, threads, |seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut out = Vec::with_capacity(cfg.epochs + 1);
@@ -105,8 +117,7 @@ pub fn simulate_persistence_timeline_with_threads<F: GfElem>(
             &sources,
             &mut session,
             &mut rng,
-        )
-        .expect("fresh network accepts the protocol");
+        )?;
 
         let baseline = decodable_levels::<F>(&net, &dep, cfg);
         out.push(baseline as f64);
@@ -144,9 +155,10 @@ pub fn simulate_persistence_timeline_with_threads<F: GfElem>(
         while out.len() < cfg.epochs + 1 {
             out.push(0.0);
         }
-        out
+        Ok(out)
     });
-    summarize_trajectories(&trajectories)
+    let trajectories: Vec<Vec<f64>> = trajectories.into_iter().collect::<Result<_, _>>()?;
+    Ok(summarize_trajectories(&trajectories))
 }
 
 /// Renders per-epoch summaries as a JSON array (the `results` payload
@@ -223,7 +235,7 @@ mod tests {
 
     #[test]
     fn timeline_has_expected_shape() {
-        let out = simulate_persistence_timeline::<Gf256>(&base(None));
+        let out = simulate_persistence_timeline::<Gf256>(&base(None)).expect("timeline");
         assert_eq!(out.len(), 5);
         // Fresh deployment with 3x overhead decodes everything.
         assert!(out[0].mean > 2.5, "epoch 0: {}", out[0].mean);
@@ -233,8 +245,8 @@ mod tests {
 
     #[test]
     fn repair_improves_long_horizon_persistence() {
-        let without = simulate_persistence_timeline::<Gf256>(&base(None));
-        let with = simulate_persistence_timeline::<Gf256>(&base(Some(3)));
+        let without = simulate_persistence_timeline::<Gf256>(&base(None)).expect("timeline");
+        let with = simulate_persistence_timeline::<Gf256>(&base(Some(3))).expect("timeline");
         // Same seeds, same churn realisations: repair can only help.
         let last = base(None).epochs;
         assert!(
@@ -247,9 +259,9 @@ mod tests {
         // probability at these sizes).
         let mut cfg = base(Some(3));
         cfg.epochs = 8;
-        let long_with = simulate_persistence_timeline::<Gf256>(&cfg);
+        let long_with = simulate_persistence_timeline::<Gf256>(&cfg).expect("timeline");
         cfg.repair_donors = None;
-        let long_without = simulate_persistence_timeline::<Gf256>(&cfg);
+        let long_without = simulate_persistence_timeline::<Gf256>(&cfg).expect("timeline");
         assert!(
             long_with[8].mean > long_without[8].mean,
             "8 epochs: {} vs {}",
@@ -260,8 +272,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = simulate_persistence_timeline::<Gf256>(&base(Some(2)));
-        let b = simulate_persistence_timeline::<Gf256>(&base(Some(2)));
+        let a = simulate_persistence_timeline::<Gf256>(&base(Some(2))).expect("timeline");
+        let b = simulate_persistence_timeline::<Gf256>(&base(Some(2))).expect("timeline");
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.mean, y.mean);
         }

@@ -2,8 +2,9 @@
 //!
 //! `prlc-lint` enforces the repo's correctness invariants (determinism,
 //! unsafe-audit, metric-key registry, RNG domain separation, panic
-//! hygiene) as machine checks; this test makes any violation a test
-//! failure so it cannot land unnoticed even without the CI job.
+//! hygiene, RNG-domain registry, kernel-dispatch audit) as machine
+//! checks; this test makes any violation a test failure so it cannot
+//! land unnoticed even without the CI job.
 
 use std::path::Path;
 

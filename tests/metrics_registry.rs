@@ -236,7 +236,8 @@ fn timeline_round(seed: u64) {
         coeff_rep: CoeffRep::Dense,
         runs: 1,
         seed,
-    });
+    })
+    .expect("timeline simulation");
     assert_eq!(summaries.len(), 3);
 }
 
