@@ -8,10 +8,12 @@ use prlc_core::{PriorityDistribution, PriorityProfile, Scheme};
 use prlc_gf::{kernel, Gf256};
 use prlc_net::{AdversaryPlan, AdversaryStrategy, CoeffRep, FaultPlan, RetryPolicy, SourceFanout};
 use prlc_sim::{
-    adversary_results_json, fmt_f, persistence_under_lossy_collection_with_threads, runner,
+    adversary_results_json, bench_file_name, fmt_f,
+    persistence_under_lossy_collection_with_threads, run_bench_probe, run_probe_and_reset, runner,
     simulate_adversary_sweep_with_threads, simulate_decoding_curve_with_threads,
     simulate_persistence_timeline_with_threads, timeline_results_json, AdversarySweepConfig,
     CurveConfig, LossyCollectionConfig, Persistence, RunMetadata, Table, TimelineConfig,
+    BENCH_PROBES,
 };
 
 const USAGE: &str = "\
@@ -34,6 +36,9 @@ USAGE:
            [--trace FILE|-] [--trace-format json|chrome]
   prlc trace [--scheme rlc|slc|plc] [--levels a,b,c] [--max-blocks M]
              [--seed S] [--out FILE|-] [--format json|chrome]
+  prlc bench [--check] [--out DIR] [--baseline-dir DIR]
+             [--probe p1,p2,...] [--threads T]
+             [--tolerance F] [--wall-tolerance F] [--report FILE]
   prlc lint [--root DIR] [--format text|json] [--allowlist FILE]
 
 The encoder splits FILE into priority levels (leading bytes = most
@@ -108,6 +113,21 @@ with the tracer on and prints the per-level decode waterfall: the
 number of coded blocks consumed when each priority level unlocked.
 --out additionally exports the raw trace like `sim --trace`.
 
+`bench` runs the canonical pinned-seed probe suite (GF kernel
+throughput per backend, the lossy-collection sweep, the N=10^5
+timeline, the targeted-adversary sweep, sparse-row bytes vs ln N) and
+writes one versioned BENCH_<probe>.json envelope per probe into --out
+(default: the current directory) — the files committed at the repo
+root as perf baselines. With --check it instead re-runs the probes and
+diffs each envelope against --baseline-dir (default: the current
+directory): deterministic fields (results, metrics, trace digests, RNG
+end states) must match exactly, environmental measurements (MB/s,
+wall-clock ms) must sit inside a multiplicative tolerance band
+(--tolerance, default 25; --wall-tolerance, default 100). It prints
+the run-delta table, writes machine-readable findings JSON to --report
+if given, and exits nonzero on any finding. --probe restricts the
+suite to a comma-separated subset.
+
 `lint` runs the workspace invariant lints (determinism, unsafe-audit,
 metric-key registry, RNG domain separation, panic hygiene, RNG-domain
 registry, kernel-dispatch audit) over the repository sources. --root
@@ -139,6 +159,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "info" => cmd_info(&args[1..]),
         "sim" => cmd_sim(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -364,17 +385,9 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     }
 
     // Run header: environment first, so perf numbers in the output are
-    // attributable to a backend and worker count.
-    let mut meta = RunMetadata::collect(threads);
-    if prlc_obs::enabled() {
-        // The throughput probe inside `collect` runs a wall-clock-bounded
-        // number of kernel iterations; drop those counts so the snapshot
-        // reflects only the (deterministic) experiment itself.
-        prlc_obs::reset();
-    }
-    if prlc_obs::trace::enabled() {
-        prlc_obs::trace::reset();
-    }
+    // attributable to a backend and worker count. The shared helper also
+    // clears the recorders of the throughput probe's own kernel traffic.
+    let mut meta = run_probe_and_reset(threads);
     println!(
         "prlc sim — kernel backend {}, {} threads, {} MB/s symbol throughput",
         meta.kernel_backend,
@@ -484,6 +497,140 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         println!("wrote curve + run metadata to {path}");
     }
     Ok(())
+}
+
+/// The `bench` subcommand: run the canonical probe suite and either
+/// write fresh `BENCH_<probe>.json` baselines (default) or diff the
+/// suite against committed baselines and gate on the result (--check).
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    use prlc_obs::baseline::{diff_envelopes, findings_json, Tolerances};
+
+    let check = has_flag(args, "--check");
+    let probes: Vec<String> = match flag_value(args, "--probe")? {
+        Some(v) => {
+            let list: Vec<String> = v.split(',').map(|s| s.trim().to_string()).collect();
+            for p in &list {
+                if !BENCH_PROBES.contains(&p.as_str()) {
+                    return Err(format!(
+                        "unknown probe {p:?} (want one of {})",
+                        BENCH_PROBES.join(", ")
+                    ));
+                }
+            }
+            list
+        }
+        None => BENCH_PROBES.iter().map(|s| s.to_string()).collect(),
+    };
+    let threads = match flag_value(args, "--threads")? {
+        Some(v) => {
+            let t: usize = v.parse().map_err(|_| "bad --threads")?;
+            if t == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            t
+        }
+        None => runner::default_threads(),
+    };
+    let mut tol = Tolerances::default();
+    if let Some(v) = flag_value(args, "--tolerance")? {
+        tol.throughput_factor = parse_band_factor(&v, "--tolerance")?;
+    }
+    if let Some(v) = flag_value(args, "--wall-tolerance")? {
+        tol.wall_factor = parse_band_factor(&v, "--wall-tolerance")?;
+    }
+
+    // Baseline envelopes always carry the deterministic metrics block
+    // and the trace digest, so the check has exact fields to hold.
+    prlc_obs::enable();
+    prlc_obs::trace::enable();
+    println!(
+        "prlc bench — kernel backend {}, {} threads, probes: {}",
+        kernel::active_backend_description(),
+        threads,
+        probes.join(", ")
+    );
+
+    if !check {
+        let out_dir = flag_value(args, "--out")?.unwrap_or_else(|| ".".to_string());
+        for probe in &probes {
+            let env = run_bench_probe(probe, threads)?;
+            let path = std::path::Path::new(&out_dir).join(bench_file_name(probe));
+            std::fs::write(&path, env).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("wrote {}", path.display());
+        }
+        return Ok(());
+    }
+
+    let baseline_dir = flag_value(args, "--baseline-dir")?.unwrap_or_else(|| ".".to_string());
+    let mut reports = Vec::new();
+    for probe in &probes {
+        let path = std::path::Path::new(&baseline_dir).join(bench_file_name(probe));
+        let baseline = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading baseline {}: {e}", path.display()))?;
+        let current = run_bench_probe(probe, threads)?;
+        reports.push(diff_envelopes(probe, &baseline, &current, &tol)?);
+    }
+
+    // The run-delta table: every environmental measurement with its
+    // signed change, plus label moves (backend, threads) at `n/a`.
+    let mut table = Table::new(["probe", "field", "baseline", "current", "delta", "band"]);
+    for r in &reports {
+        for d in &r.deltas {
+            table.push_row([
+                d.probe.clone(),
+                d.path.clone(),
+                d.baseline.clone(),
+                d.current.clone(),
+                match d.delta_pct {
+                    Some(p) if p.is_finite() => format!("{p:+.1}%"),
+                    _ => "n/a".to_string(),
+                },
+                if d.in_band { "ok" } else { "OUT" }.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    let findings: usize = reports.iter().map(|r| r.findings.len()).sum();
+    for r in &reports {
+        for f in &r.findings {
+            eprintln!(
+                "FINDING [{}] {}: {} — baseline {}, current {}",
+                f.kind.code(),
+                f.probe,
+                f.path,
+                f.baseline,
+                f.current
+            );
+        }
+    }
+    if let Some(report_path) = flag_value(args, "--report")? {
+        std::fs::write(&report_path, findings_json(&reports))
+            .map_err(|e| format!("writing {report_path}: {e}"))?;
+        println!("wrote findings report to {report_path}");
+    }
+    if findings > 0 {
+        Err(format!(
+            "bench check failed: {findings} finding(s) across {} probe(s)",
+            reports.iter().filter(|r| !r.clean()).count()
+        ))
+    } else {
+        println!(
+            "bench check clean: {} probe(s), {} environmental delta(s) in band",
+            reports.len(),
+            reports.iter().map(|r| r.deltas.len()).sum::<usize>()
+        );
+        Ok(())
+    }
+}
+
+/// Parses a tolerance band factor: a finite number >= 1.
+fn parse_band_factor(v: &str, flag: &str) -> Result<f64, String> {
+    let f: f64 = v.parse().map_err(|_| format!("bad {flag}"))?;
+    if !f.is_finite() || f < 1.0 {
+        return Err(format!("{flag} must be a finite factor >= 1"));
+    }
+    Ok(f)
 }
 
 /// The `lint` subcommand: run the workspace invariant lints and report.

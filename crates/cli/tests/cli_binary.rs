@@ -552,3 +552,90 @@ fn sim_timeline_large_overlay_with_faults_and_bench_envelope() {
     assert!(envelope.contains("\"epoch\":2"), "{envelope}");
     fs::remove_dir_all(dir).unwrap();
 }
+
+#[test]
+fn bench_write_check_and_negative_roundtrip() {
+    let dir = temp_dir("bench");
+    // Write a fresh kernel baseline (the only probe cheap enough for a
+    // debug-profile binary test).
+    let out = prlc()
+        .args(["bench", "--probe", "kernel", "--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "bench write failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let baseline = fs::read_to_string(dir.join("BENCH_kernel.json")).unwrap();
+    assert!(
+        baseline.starts_with("{\"bench_schema_version\":1,"),
+        "{baseline}"
+    );
+    assert!(baseline.contains("\"probe\":\"kernel\""), "{baseline}");
+    assert!(
+        baseline.contains("\"backend\":\"dispatched\""),
+        "{baseline}"
+    );
+
+    // Self-check against the freshly written baseline passes and emits
+    // the delta table plus a findings report with zero findings.
+    let report = dir.join("delta.json");
+    let out = prlc()
+        .args([
+            "bench",
+            "--check",
+            "--probe",
+            "kernel",
+            "--baseline-dir",
+            dir.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "bench check failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bench check clean"), "{text}");
+    assert!(text.contains("mb_s"), "{text}");
+    let findings = fs::read_to_string(&report).unwrap();
+    assert!(findings.contains("\"findings\":[]"), "{findings}");
+
+    // A perturbed deterministic field (the probe name itself) fails with
+    // a machine-readable finding and a nonzero exit.
+    let perturbed = baseline.replace("\"slice_len\":65536", "\"slice_len\":1");
+    assert_ne!(perturbed, baseline);
+    fs::write(dir.join("BENCH_kernel.json"), perturbed).unwrap();
+    let out = prlc()
+        .args([
+            "bench",
+            "--check",
+            "--probe",
+            "kernel",
+            "--baseline-dir",
+            dir.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("deterministic-drift"), "{err}");
+    let findings = fs::read_to_string(&report).unwrap();
+    assert!(
+        findings.contains("\"kind\":\"deterministic-drift\""),
+        "{findings}"
+    );
+    assert!(findings.contains("config.slice_len"), "{findings}");
+
+    // Unknown probe names are rejected up front.
+    let out = prlc().args(["bench", "--probe", "nope"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown probe"));
+    fs::remove_dir_all(dir).unwrap();
+}

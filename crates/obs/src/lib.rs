@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod trace;
 
 use std::collections::BTreeMap;
@@ -551,6 +552,32 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile (`0 < q <= 1`): the
+    /// [`BUCKET_BOUNDS`] entry of the bucket holding the
+    /// `ceil(q * count)`-th smallest observation. Deterministic — a
+    /// pure function of the bucket counts, so it carries the same
+    /// cross-thread/cross-backend guarantee the counts do.
+    ///
+    /// Returns `None` for an empty histogram or when the rank lands in
+    /// the overflow bucket (no finite upper bound to report).
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        // ceil(q * count), clamped to [1, count].
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return BUCKET_BOUNDS.get(i).copied();
+            }
+        }
+        None
+    }
+}
+
 /// Frozen span-timer state inside a [`Snapshot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimerSnapshot {
@@ -630,7 +657,17 @@ impl Snapshot {
                 }
                 s.push_str(&c.to_string());
             }
-            s.push_str(&format!("],\"sum\":{},\"count\":{}}}", h.sum, h.count));
+            s.push_str(&format!("],\"sum\":{},\"count\":{}", h.sum, h.count));
+            // Bucket-derived percentile upper bounds (docs/METRICS.md,
+            // "Histogram percentiles"); null when the rank falls in the
+            // overflow bucket or the histogram is empty.
+            for (key, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+                match h.percentile(q) {
+                    Some(v) => s.push_str(&format!(",\"{key}\":{v}")),
+                    None => s.push_str(&format!(",\"{key}\":null")),
+                }
+            }
+            s.push('}');
         }
         s.push_str("}}");
         s
@@ -801,6 +838,54 @@ mod tests {
                                                    // Events come back sorted by (domain, id, kind, value).
         assert_eq!(snap.events[0].id, 3);
         assert_eq!(snap.events[1].id, 9);
+        disable();
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        // Empty histogram: no percentile at all.
+        let empty = HistogramSnapshot {
+            counts: vec![0; NUM_BUCKETS],
+            sum: 0,
+            count: 0,
+        };
+        assert_eq!(empty.percentile(0.5), None);
+
+        // 10 observations of 1 and one of 1000: p50/p90 sit in the
+        // <=1 bucket, p99 lands on the 11th value (bound 1024).
+        let mut counts = vec![0u64; NUM_BUCKETS];
+        counts[0] = 10;
+        counts[10] = 1; // bound 1024
+        let h = HistogramSnapshot {
+            counts,
+            sum: 1010,
+            count: 11,
+        };
+        assert_eq!(h.percentile(0.50), Some(1));
+        assert_eq!(h.percentile(0.90), Some(1));
+        assert_eq!(h.percentile(0.99), Some(1024));
+        assert_eq!(h.percentile(1.0), Some(1024));
+
+        // A single overflow observation has no finite bound.
+        let mut counts = vec![0u64; NUM_BUCKETS];
+        counts[NUM_BUCKETS - 1] = 1;
+        let o = HistogramSnapshot {
+            counts,
+            sum: 1_000_000,
+            count: 1,
+        };
+        assert_eq!(o.percentile(0.5), None);
+
+        // The deterministic JSON carries the three fixed keys.
+        let _g = guarded();
+        enable();
+        let r = Registry::new();
+        r.histogram("h").observe(3);
+        let det = r.snapshot().to_deterministic_json();
+        assert!(det.contains("\"p50\":4,\"p90\":4,\"p99\":4"));
+        r.reset();
+        let det = r.snapshot().to_deterministic_json();
+        assert!(det.contains("\"p50\":null,\"p90\":null,\"p99\":null"));
         disable();
     }
 

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub mod bench;
 pub mod experiments;
 pub mod lossy;
 pub mod metadata;
@@ -56,6 +57,7 @@ pub use adversarial::{
     adversary_results_json, simulate_adversary_sweep, simulate_adversary_sweep_with_threads,
     AdversaryEpoch, AdversarySweepConfig,
 };
+pub use bench::{bench_file_name, run_bench_probe, BENCH_PROBES};
 pub use experiments::{
     growth_levels, simulate_decoding_curve, simulate_decoding_curve_with_threads,
     simulate_survivability, simulate_survivability_with_threads, CurveConfig, DecodingCurve,
@@ -65,7 +67,7 @@ pub use lossy::{
     persistence_under_lossy_collection, persistence_under_lossy_collection_with_threads, LossyCell,
     LossyCollectionConfig, LossySweep,
 };
-pub use metadata::RunMetadata;
+pub use metadata::{measure_wall_ms, run_probe_and_reset, RunMetadata};
 pub use runner::{default_threads, run_parallel, run_parallel_with_threads, run_seed, splitmix64};
 pub use stats::{summarize, summarize_trajectories, Summary};
 pub use table::{fmt_f, Table};

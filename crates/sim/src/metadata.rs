@@ -9,6 +9,7 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use prlc_gf::{kernel, Gf256, GfElem};
+use prlc_obs::baseline::{BENCH_SCHEMA_VERSION, SCHEMA_VERSION_KEY};
 
 /// Environment metadata attached to an experiment run.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,15 +135,47 @@ impl RunMetadata {
             Some(t) => format!(",\"trace\":{t}"),
             None => String::new(),
         };
+        // The leading schema stamp is what lets `prlc bench --check`
+        // refuse to diff envelopes written by a different writer
+        // generation (see prlc_obs::baseline).
         writeln!(
             f,
-            "{{\"run_metadata\":{}{}{},\"results\":{}}}",
+            "{{\"{}\":{},\"run_metadata\":{}{}{},\"results\":{}}}",
+            SCHEMA_VERSION_KEY,
+            BENCH_SCHEMA_VERSION,
             self.to_json(),
             metrics,
             trace,
             results_json
         )
     }
+}
+
+/// Collects [`RunMetadata`] for a sweep about to start and clears the
+/// global metrics and trace recorders (when enabled), so the workload's
+/// observability output is not polluted by the throughput probe's own
+/// GF kernel traffic. The single entry point shared by `prlc sim` and
+/// every `prlc bench` probe — keeping the two paths from drifting.
+pub fn run_probe_and_reset(threads: usize) -> RunMetadata {
+    let meta = RunMetadata::collect(threads);
+    if prlc_obs::enabled() {
+        prlc_obs::reset();
+    }
+    if prlc_obs::trace::enabled() {
+        prlc_obs::trace::reset();
+    }
+    meta
+}
+
+/// Runs `f` and returns its result together with the elapsed wall-clock
+/// milliseconds. Lives here — not in the bench module — because this
+/// file is the one `prlc-sim` location allowlisted for `Instant` (lint
+/// L1): wall-clock is an *environmental* measurement and must stay
+/// quarantined from deterministic result paths.
+pub fn measure_wall_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
 }
 
 fn escape_json(s: &str) -> String {
@@ -162,6 +195,16 @@ fn escape_json(s: &str) -> String {
 /// Short and calibrated: one warm-up pass builds the field tables, then
 /// iterations are timed for roughly 20 ms.
 pub fn measure_symbol_throughput_mb_s() -> f64 {
+    measure_throughput(kernel::axpy)
+}
+
+/// [`measure_symbol_throughput_mb_s`] forced onto a specific kernel
+/// backend — the per-backend rows of the `prlc bench` kernel probe.
+pub fn measure_symbol_throughput_mb_s_with(backend: kernel::Backend) -> f64 {
+    measure_throughput(|dst, c, src| kernel::axpy_with(backend, dst, c, src))
+}
+
+fn measure_throughput(mut axpy: impl FnMut(&mut [Gf256], Gf256, &[Gf256])) -> f64 {
     const LEN: usize = 64 * 1024;
     const BUDGET: Duration = Duration::from_millis(20);
     let src: Vec<Gf256> = (0..LEN).map(|i| Gf256::new((i % 251) as u8)).collect();
@@ -169,12 +212,12 @@ pub fn measure_symbol_throughput_mb_s() -> f64 {
     let c = Gf256::from_index(0x53);
 
     // Warm-up: forces table construction out of the timed region.
-    kernel::axpy(&mut dst, c, &src);
+    axpy(&mut dst, c, &src);
 
     let mut iters: u64 = 0;
     let start = Instant::now();
     loop {
-        kernel::axpy(&mut dst, c, &src);
+        axpy(&mut dst, c, &src);
         iters += 1;
         if start.elapsed() >= BUDGET {
             break;
@@ -266,6 +309,7 @@ mod tests {
         };
         meta.write_bench_json(&path, "[1,2,3]").unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"bench_schema_version\":1,"));
         assert!(text.contains("\"run_metadata\":{\"kernel_backend\":\"scalar\""));
         assert!(text.contains("\"results\":[1,2,3]"));
 

@@ -1,0 +1,186 @@
+//! Tier-1 gate: the committed perf baselines must stay well-formed and
+//! self-consistent, and the `prlc bench --check` differ must keep
+//! failing the right way.
+//!
+//! This test deliberately re-runs **no** probes (an `N = 10^5` timeline
+//! in a debug-profile test run would dominate the suite); the CI
+//! `bench-regression` job does the live re-run in release mode. What is
+//! checked here:
+//!
+//! * every committed `BENCH_<probe>.json` parses, carries schema
+//!   version 1, and names the probe it claims to be;
+//! * each baseline diffed against itself is clean with all-zero
+//!   environmental deltas;
+//! * a perturbed deterministic field, an out-of-band throughput, and a
+//!   bumped schema version each fail with their distinct
+//!   machine-readable finding.
+
+use std::path::{Path, PathBuf};
+
+use prlc_obs::baseline::{
+    diff_envelopes, findings_json, parse_json, FindingKind, Json, Tolerances,
+};
+use prlc_sim::{bench_file_name, BENCH_PROBES};
+
+fn baseline_path(probe: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(bench_file_name(probe))
+}
+
+fn baseline_text(probe: &str) -> String {
+    let path = baseline_path(probe);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed baseline {}: {e}", path.display()))
+}
+
+#[test]
+fn committed_baselines_are_versioned_and_complete() {
+    for probe in BENCH_PROBES {
+        let text = baseline_text(probe);
+        let doc = parse_json(&text)
+            .unwrap_or_else(|e| panic!("baseline for {probe} is not valid JSON: {e}"));
+        let version = doc.get("bench_schema_version").cloned();
+        assert!(
+            matches!(version, Some(Json::Num(ref n)) if n.value == 1.0),
+            "{probe}: bad bench_schema_version {version:?}"
+        );
+        assert_eq!(
+            doc.get("probe"),
+            Some(&Json::Str((*probe).to_string())),
+            "{probe}: envelope names the wrong probe"
+        );
+        for key in ["config", "run_metadata", "results", "wall_ms"] {
+            assert!(doc.get(key).is_some(), "{probe}: missing {key:?}");
+        }
+    }
+}
+
+#[test]
+fn baselines_self_check_clean() {
+    for probe in BENCH_PROBES {
+        let text = baseline_text(probe);
+        let report =
+            diff_envelopes(probe, &text, &text, &Tolerances::default()).expect("well-formed");
+        assert!(
+            report.clean(),
+            "{probe}: self-diff has findings {:?}",
+            report.findings
+        );
+        assert!(
+            report
+                .deltas
+                .iter()
+                .all(|d| d.delta_pct.is_none() || d.delta_pct == Some(0.0)),
+            "{probe}: self-diff has nonzero deltas {:?}",
+            report.deltas
+        );
+    }
+}
+
+/// Rewrites the first deterministic number found under `results` in a
+/// parsed envelope, returning the rendered mutant.
+fn perturb_first_result_number(doc: &mut Json) -> String {
+    fn bump(v: &mut Json) -> bool {
+        match v {
+            Json::Num(n) => {
+                n.value += 1.0;
+                n.raw = format!("{}", n.value);
+                true
+            }
+            Json::Arr(items) => items.iter_mut().any(bump),
+            Json::Obj(members) => members.iter_mut().any(|(_, v)| bump(v)),
+            _ => false,
+        }
+    }
+    let results = doc.get_mut("results").expect("results block");
+    assert!(bump(results), "no number to perturb under results");
+    doc.render()
+}
+
+#[test]
+fn perturbed_deterministic_field_fails_with_drift() {
+    // The lossy baseline has dense numeric result rows; one is enough —
+    // the differ walks every envelope through the same code path.
+    let text = baseline_text("lossy");
+    let mut doc = parse_json(&text).expect("parses");
+    let mutant = perturb_first_result_number(&mut doc);
+    let report = diff_envelopes("lossy", &text, &mutant, &Tolerances::default()).expect("diff");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.kind == FindingKind::DeterministicDrift),
+        "expected deterministic-drift, got {:?}",
+        report.findings
+    );
+    let json = findings_json(&[report]);
+    assert!(json.contains("\"kind\":\"deterministic-drift\""));
+}
+
+#[test]
+fn out_of_band_throughput_fails_with_its_own_kind() {
+    let text = baseline_text("kernel");
+    let mut doc = parse_json(&text).expect("parses");
+    // Push the dispatched backend's throughput far outside the widest
+    // sane band.
+    let results = doc.get_mut("results").expect("results");
+    let Json::Arr(rows) = results else {
+        panic!("results is not an array")
+    };
+    let mut bumped = false;
+    for row in rows {
+        if let Some(Json::Num(n)) = row.get_mut("mb_s") {
+            n.value *= 1000.0;
+            n.raw = format!("{}", n.value);
+            bumped = true;
+        }
+    }
+    assert!(bumped, "kernel baseline has no mb_s row");
+    let mutant = doc.render();
+    let report = diff_envelopes("kernel", &text, &mutant, &Tolerances::default()).expect("diff");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.kind == FindingKind::ThroughputOutOfBand),
+        "expected throughput-out-of-band, got {:?}",
+        report.findings
+    );
+    // The same drift is visible as a signed out-of-band delta row.
+    assert!(report
+        .deltas
+        .iter()
+        .any(|d| !d.in_band && d.delta_pct.is_some_and(|p| p > 0.0)));
+    let json = findings_json(&[report]);
+    assert!(json.contains("\"kind\":\"throughput-out-of-band\""));
+}
+
+#[test]
+fn unknown_schema_version_is_rejected() {
+    let text = baseline_text("sparse");
+    let mut doc = parse_json(&text).expect("parses");
+    if let Some(Json::Num(n)) = doc.get_mut("bench_schema_version") {
+        n.value = 99.0;
+        n.raw = "99".to_string();
+    } else {
+        panic!("baseline has no schema version");
+    }
+    let mutant = doc.render();
+    let report = diff_envelopes("sparse", &text, &mutant, &Tolerances::default()).expect("diff");
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].kind, FindingKind::SchemaVersion);
+}
+
+#[test]
+fn legacy_results_layout_is_retired() {
+    // The pre-unification dumps lived in results/BENCH_*.json without a
+    // schema version; the committed layout is root-level and versioned.
+    let results_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    for probe in BENCH_PROBES {
+        let legacy = results_dir.join(bench_file_name(probe));
+        assert!(
+            !legacy.exists(),
+            "legacy unversioned baseline still present: {}",
+            legacy.display()
+        );
+    }
+}
